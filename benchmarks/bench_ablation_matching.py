@@ -1,0 +1,117 @@
+"""ABL-3 — entity-matching ablation: similarity functions × thresholds.
+
+Section 3 of the paper: "in the entity matching phase, it is possible to try
+different similarity techniques (e.g. Jaccard, cosine, etc.) with different
+thresholds".  This benchmark runs that sweep on the candidate pairs produced
+by the BLAST blocker, plus the supervised (classifier) matcher for comparison.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from conftest import print_rows
+
+from repro.core.blocker import Blocker
+from repro.core.config import BlockerConfig, MatcherConfig
+from repro.core.entity_matcher import EntityMatcher
+from repro.evaluation.metrics import pair_metrics
+
+# Token- and q-gram-based measures: cheap enough to score every candidate pair
+# of the full blocking output.  The character-level measures (Levenshtein,
+# Jaro-Winkler) are quadratic in the profile-text length and are exercised on
+# per-attribute values in the test-suite instead.
+SIMILARITIES = ["jaccard", "cosine", "dice", "overlap", "qgram"]
+THRESHOLDS = [0.2, 0.3, 0.4, 0.5, 0.6]
+
+
+@pytest.fixture(scope="module")
+def candidate_pairs(abt_buy):
+    report = Blocker(
+        BlockerConfig(use_loose_schema=True, attribute_threshold=0.1, use_entropy=True)
+    ).run(abt_buy.profiles)
+    return sorted(report.candidate_pairs)
+
+
+@pytest.mark.parametrize("similarity", SIMILARITIES)
+def test_ablation_similarity_functions(benchmark, abt_buy, candidate_pairs, similarity):
+    """Sweep the similarity function at a fixed threshold of 0.4."""
+
+    def run():
+        matcher = EntityMatcher(
+            MatcherConfig(mode="threshold", similarity=similarity, threshold=0.4)
+        )
+        graph = matcher.match(abt_buy.profiles, candidate_pairs)
+        metrics = pair_metrics(graph.pairs(), abt_buy.ground_truth)
+        return {
+            "similarity": similarity,
+            "threshold": 0.4,
+            "matched_pairs": len(graph),
+            "precision": round(metrics.precision, 4),
+            "recall": round(metrics.recall, 4),
+            "f1": round(metrics.f1, 4),
+        }
+
+    row = benchmark(run)
+    print_rows(f"ABL-3 similarity = {similarity}", [row])
+
+
+def test_ablation_threshold_sweep(benchmark, abt_buy, candidate_pairs):
+    """Jaccard matcher across thresholds: precision rises, recall falls."""
+
+    def run():
+        rows = []
+        for threshold in THRESHOLDS:
+            matcher = EntityMatcher(
+                MatcherConfig(mode="threshold", similarity="jaccard", threshold=threshold)
+            )
+            graph = matcher.match(abt_buy.profiles, candidate_pairs)
+            metrics = pair_metrics(graph.pairs(), abt_buy.ground_truth)
+            rows.append(
+                {
+                    "threshold": threshold,
+                    "matched_pairs": len(graph),
+                    "precision": round(metrics.precision, 4),
+                    "recall": round(metrics.recall, 4),
+                    "f1": round(metrics.f1, 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows("ABL-3 Jaccard threshold sweep", rows)
+    recalls = [row["recall"] for row in rows]
+    assert recalls == sorted(recalls, reverse=True), "recall must fall as the threshold rises"
+
+
+def test_ablation_supervised_classifier(benchmark, abt_buy, candidate_pairs):
+    """The supervised (logistic regression) matcher of the supervised mode."""
+    rng = random.Random(3)
+    positives = [(a, b, True) for a, b in abt_buy.ground_truth]
+    ids0 = [p.profile_id for p in abt_buy.profiles.by_source(0)]
+    ids1 = [p.profile_id for p in abt_buy.profiles.by_source(1)]
+    negatives = []
+    while len(negatives) < len(positives):
+        a, b = rng.choice(ids0), rng.choice(ids1)
+        if (a, b) not in abt_buy.ground_truth:
+            negatives.append((a, b, False))
+
+    def run():
+        matcher = EntityMatcher(
+            MatcherConfig(mode="classifier", classifier_epochs=200),
+            labeled_pairs=positives + negatives,
+        )
+        graph = matcher.match(abt_buy.profiles, candidate_pairs)
+        metrics = pair_metrics(graph.pairs(), abt_buy.ground_truth)
+        return {
+            "matcher": "logistic regression (supervised)",
+            "matched_pairs": len(graph),
+            "precision": round(metrics.precision, 4),
+            "recall": round(metrics.recall, 4),
+            "f1": round(metrics.f1, 4),
+        }
+
+    row = benchmark(run)
+    print_rows("ABL-3 supervised classifier matcher", [row])
+    assert row["f1"] > 0.7

@@ -1,0 +1,102 @@
+"""ABL-1 — weighting-scheme × pruning-strategy ablation.
+
+The demo lets the user change the meta-blocking weighting scheme and pruning
+strategy; this benchmark sweeps every combination on the Abt-Buy stand-in and
+reports candidate pairs, recall and precision for each, which is the
+information needed to pick a configuration during process debugging.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_rows
+
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.metablocking.metablocker import MetaBlocker
+
+WEIGHTINGS = ["cbs", "js", "arcs", "ecbs", "ejs"]
+PRUNINGS = ["wep", "cep", "wnp", "rwnp", "cnp"]
+
+
+@pytest.fixture(scope="module")
+def prepared_blocks(abt_buy):
+    raw = TokenBlocking().block(abt_buy.profiles)
+    return BlockFiltering().filter(BlockPurging().purge(raw, len(abt_buy.profiles)))
+
+
+@pytest.mark.parametrize("weighting", WEIGHTINGS)
+def test_ablation_weighting_schemes(benchmark, abt_buy, prepared_blocks, weighting):
+    """Sweep the weighting scheme with WNP pruning fixed."""
+    truth = abt_buy.ground_truth.pairs()
+
+    def run():
+        result = MetaBlocker(weighting, "wnp").run(prepared_blocks)
+        return {
+            "weighting": weighting,
+            "pruning": "wnp",
+            "candidate_pairs": result.num_candidates,
+            "recall": round(len(result.candidate_pairs & truth) / len(truth), 4),
+            "precision": round(
+                len(result.candidate_pairs & truth) / max(result.num_candidates, 1), 6
+            ),
+        }
+
+    row = benchmark(run)
+    print_rows(f"ABL-1 weighting scheme = {weighting}", [row])
+    assert row["recall"] > 0.7
+
+
+@pytest.mark.parametrize("pruning", PRUNINGS)
+def test_ablation_pruning_strategies(benchmark, abt_buy, prepared_blocks, pruning):
+    """Sweep the pruning strategy with CBS weighting fixed."""
+    truth = abt_buy.ground_truth.pairs()
+
+    def run():
+        result = MetaBlocker("cbs", pruning).run(prepared_blocks)
+        return {
+            "weighting": "cbs",
+            "pruning": pruning,
+            "candidate_pairs": result.num_candidates,
+            "recall": round(len(result.candidate_pairs & truth) / len(truth), 4),
+            "precision": round(
+                len(result.candidate_pairs & truth) / max(result.num_candidates, 1), 6
+            ),
+        }
+
+    row = benchmark(run)
+    print_rows(f"ABL-1 pruning strategy = {pruning}", [row])
+    assert row["candidate_pairs"] > 0
+
+
+def test_ablation_full_grid(benchmark, abt_buy, prepared_blocks):
+    """The full weighting × pruning grid in one table (run once, no timing sweep)."""
+    truth = abt_buy.ground_truth.pairs()
+
+    def run():
+        rows = []
+        for weighting in WEIGHTINGS:
+            for pruning in PRUNINGS:
+                result = MetaBlocker(weighting, pruning).run(prepared_blocks)
+                rows.append(
+                    {
+                        "weighting": weighting,
+                        "pruning": pruning,
+                        "candidate_pairs": result.num_candidates,
+                        "recall": round(
+                            len(result.candidate_pairs & truth) / len(truth), 4
+                        ),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_rows("ABL-1 full weighting × pruning grid", rows)
+    # Reciprocal WNP (BLAST's rule) always retains a subset of WNP.
+    by_key = {(r["weighting"], r["pruning"]): r for r in rows}
+    for weighting in WEIGHTINGS:
+        assert (
+            by_key[(weighting, "rwnp")]["candidate_pairs"]
+            <= by_key[(weighting, "wnp")]["candidate_pairs"]
+        )

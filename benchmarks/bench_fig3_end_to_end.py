@@ -1,0 +1,62 @@
+"""FIG3 — the end-to-end SparkER architecture (Figure 3).
+
+Runs the full pipeline (blocker → entity matcher → entity clusterer) on the
+Abt-Buy stand-in in the unsupervised default configuration and in the
+schema-agnostic configuration, reporting the per-stage metrics of each run.
+"""
+
+from __future__ import annotations
+
+from conftest import print_rows
+
+from repro.core.config import SparkERConfig
+from repro.core.sparker import SparkER
+
+
+def _run_pipeline(dataset, config: SparkERConfig) -> dict[str, object]:
+    result = SparkER(config).run(dataset.profiles, dataset.ground_truth)
+    clusterer = result.report.get("clusterer").metrics
+    matcher = result.report.get("matcher").metrics
+    return {
+        "candidate_pairs": result.summary()["candidate_pairs"],
+        "matched_pairs": result.summary()["matched_pairs"],
+        "clusters": result.summary()["clusters"],
+        "match_precision": matcher["precision"],
+        "match_recall": matcher["recall"],
+        "cluster_f1": clusterer["f1"],
+    }
+
+
+def test_fig3_unsupervised_default(benchmark, abt_buy):
+    """End-to-end run with the unsupervised default (BLAST) configuration."""
+    row = benchmark(_run_pipeline, abt_buy, SparkERConfig.unsupervised_default())
+    row = {"configuration": "unsupervised default (loose schema + entropy)", **row}
+    print_rows("FIG3 end-to-end pipeline", [row])
+    assert row["cluster_f1"] > 0.7
+
+
+def test_fig3_schema_agnostic(benchmark, abt_buy):
+    """End-to-end run with the purely schema-agnostic configuration."""
+    row = benchmark(_run_pipeline, abt_buy, SparkERConfig.schema_agnostic())
+    row = {"configuration": "schema-agnostic", **row}
+    print_rows("FIG3 end-to-end pipeline (schema-agnostic)", [row])
+    assert row["cluster_f1"] > 0.7
+
+
+def test_fig3_distributed_engine(benchmark, abt_buy):
+    """End-to-end run on the mini engine (the distributed code paths)."""
+
+    def run():
+        result = SparkER(SparkERConfig.unsupervised_default(), use_engine=True).run(
+            abt_buy.profiles, abt_buy.ground_truth
+        )
+        return {
+            "configuration": "unsupervised default on the engine",
+            "candidate_pairs": result.summary()["candidate_pairs"],
+            "clusters": result.summary()["clusters"],
+            "cluster_f1": result.report.get("clusterer").metrics["f1"],
+        }
+
+    row = benchmark(run)
+    print_rows("FIG3 end-to-end pipeline (engine-backed)", [row])
+    assert row["cluster_f1"] > 0.7

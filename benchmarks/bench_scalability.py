@@ -1,0 +1,120 @@
+"""SCALE — the scalability structure of the parallel algorithms.
+
+The paper's claim is architectural: SparkER's algorithms are designed for a
+MapReduce-like engine, using a broadcast-join structure for meta-blocking so
+that the work partitions over the blocking-graph nodes.  Real cluster speedups
+cannot be measured in a single Python process, so this benchmark reports the
+quantities that determine them:
+
+* task counts and shuffle volume as a function of the partition count,
+* load balance (skew) of the broadcast-join meta-blocking,
+* wall-clock of the sequential vs engine-backed meta-blocking (same output),
+* wall-clock growth as the dataset size grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_rows
+
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.data.synthetic import SyntheticConfig, generate_abt_buy_like
+from repro.engine.context import EngineContext
+from repro.metablocking.metablocker import MetaBlocker
+from repro.metablocking.parallel import ParallelMetaBlocker
+
+
+def _prepared_blocks(dataset):
+    raw = TokenBlocking().block(dataset.profiles)
+    return BlockFiltering().filter(BlockPurging().purge(raw, len(dataset.profiles)))
+
+
+@pytest.mark.parametrize("partitions", [1, 2, 4, 8, 16])
+def test_scale_partition_sweep(benchmark, abt_buy_large, partitions):
+    """Task count, shuffle volume and skew of the parallel meta-blocking."""
+    blocks = _prepared_blocks(abt_buy_large)
+
+    def run():
+        context = EngineContext(default_parallelism=partitions)
+        result = ParallelMetaBlocker(context, "cbs", "wnp").run(blocks)
+        stages = context.scheduler.stages
+        return {
+            "partitions": partitions,
+            "tasks": context.scheduler.total_tasks,
+            "shuffle_records": context.scheduler.total_shuffle_records,
+            "max_stage_skew": round(max((s.skew for s in stages), default=0.0), 3),
+            "candidate_pairs": result.num_candidates,
+        }
+
+    row = benchmark(run)
+    print_rows(f"SCALE parallel meta-blocking, {partitions} partitions", [row])
+    assert row["candidate_pairs"] > 0
+
+
+def test_scale_parallel_equals_sequential(benchmark, abt_buy_large):
+    """The broadcast-join meta-blocking returns the sequential result exactly."""
+    blocks = _prepared_blocks(abt_buy_large)
+    sequential = MetaBlocker("cbs", "wnp").run(blocks)
+
+    def run():
+        return ParallelMetaBlocker(EngineContext(8), "cbs", "wnp").run(blocks)
+
+    parallel = benchmark(run)
+    print_rows(
+        "SCALE sequential vs parallel meta-blocking",
+        [
+            {
+                "sequential_candidates": sequential.num_candidates,
+                "parallel_candidates": parallel.num_candidates,
+                "identical_output": parallel.candidate_pairs == sequential.candidate_pairs,
+            }
+        ],
+    )
+    assert parallel.candidate_pairs == sequential.candidate_pairs
+
+
+@pytest.mark.parametrize("num_entities", [100, 200, 400])
+def test_scale_dataset_growth(benchmark, num_entities):
+    """End-to-end blocker cost as the dataset grows (input-size scaling)."""
+    dataset = generate_abt_buy_like(SyntheticConfig(num_entities=num_entities, seed=7))
+
+    def run():
+        blocks = _prepared_blocks(dataset)
+        result = MetaBlocker("cbs", "wnp").run(blocks)
+        return {
+            "entities": num_entities,
+            "profiles": len(dataset.profiles),
+            "graph_edges": result.graph_edges,
+            "candidate_pairs": result.num_candidates,
+        }
+
+    row = benchmark(run)
+    print_rows(f"SCALE dataset growth ({num_entities} entities)", [row])
+    assert row["candidate_pairs"] > 0
+
+
+def test_scale_token_blocking_distributed(benchmark, abt_buy_large):
+    """Distributed token blocking produces the same blocks as the local path."""
+    local = TokenBlocking().block(abt_buy_large.profiles)
+
+    def run():
+        context = EngineContext(8)
+        blocks = TokenBlocking(engine=context).block(abt_buy_large.profiles)
+        return blocks, context.metrics_summary()
+
+    blocks, summary = benchmark(run)
+    print_rows(
+        "SCALE distributed token blocking",
+        [
+            {
+                "blocks": len(blocks),
+                "same_comparisons_as_local": blocks.distinct_comparisons()
+                == local.distinct_comparisons(),
+                "engine_tasks": summary["tasks"],
+                "shuffle_records": summary["shuffle_records"],
+            }
+        ],
+    )
+    assert blocks.distinct_comparisons() == local.distinct_comparisons()

@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates the rows/series of one of the paper's figures (see
+DESIGN.md §4) and *prints* them, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the numbers recorded in EXPERIMENTS.md.  The pytest-benchmark
+timings measure the runtime of the underlying algorithm.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_abt_buy_like,
+    generate_dirty_persons,
+    toy_bibliographic_dataset,
+)
+
+
+@pytest.fixture(scope="session")
+def abt_buy():
+    """The synthetic Abt-Buy stand-in used by most benchmarks (~370 profiles)."""
+    return generate_abt_buy_like(SyntheticConfig(num_entities=200, seed=42))
+
+
+@pytest.fixture(scope="session")
+def abt_buy_large():
+    """A larger instance for the scalability benchmark (~750 profiles)."""
+    return generate_abt_buy_like(SyntheticConfig(num_entities=400, seed=42))
+
+
+@pytest.fixture(scope="session")
+def dirty_persons():
+    """A dirty-ER dataset for the clustering benchmark."""
+    return generate_dirty_persons(num_entities=150, seed=11)
+
+
+@pytest.fixture(scope="session")
+def toy():
+    """The Figure 1 toy dataset."""
+    return toy_bibliographic_dataset()
+
+
+def print_rows(title: str, rows: list[dict[str, object]]) -> None:
+    """Print a result table of one experiment (same formatting everywhere)."""
+    from repro.evaluation.report import format_table
+
+    print()
+    print(format_table(rows, title=f"== {title} =="))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Run the blocking stack on the mini dataflow engine and inspect its metrics.
+
+SparkER's contribution is making meta-blocking run on a MapReduce-like engine
+(broadcast-join structure).  This example runs token blocking and the parallel
+meta-blocking on the engine with different partition counts and prints the
+engine metrics a Spark UI would show: tasks, shuffle volume, skew — and checks
+the output is identical to the sequential reference.
+
+    python examples/distributed_blocking.py
+"""
+
+from __future__ import annotations
+
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.data.synthetic import SyntheticConfig, generate_abt_buy_like
+from repro.engine import EngineContext
+from repro.evaluation.report import format_table
+from repro.metablocking import MetaBlocker, ParallelMetaBlocker
+
+
+def main() -> None:
+    dataset = generate_abt_buy_like(SyntheticConfig(num_entities=300, seed=5))
+    profiles = dataset.profiles
+    print("dataset:", dataset.summary())
+
+    blocks = BlockFiltering().filter(
+        BlockPurging().purge(TokenBlocking().block(profiles), len(profiles))
+    )
+    sequential = MetaBlocker("cbs", "wnp").run(blocks)
+    print(f"\nsequential meta-blocking: {sequential.num_candidates} candidate pairs")
+
+    rows = []
+    for partitions in (1, 2, 4, 8):
+        context = EngineContext(default_parallelism=partitions, app_name="distributed-blocking")
+        result = ParallelMetaBlocker(context, "cbs", "wnp").run(blocks)
+        stages = context.scheduler.stages
+        rows.append(
+            {
+                "partitions": partitions,
+                "tasks": context.scheduler.total_tasks,
+                "shuffle_records": context.scheduler.total_shuffle_records,
+                "max_skew": round(max((s.skew for s in stages), default=0.0), 2),
+                "candidate_pairs": result.num_candidates,
+                "identical_to_sequential": result.candidate_pairs == sequential.candidate_pairs,
+            }
+        )
+
+    print()
+    print(format_table(rows, title="broadcast-join parallel meta-blocking"))
+
+    # The distributed token blocking path, for completeness.
+    context = EngineContext(default_parallelism=8)
+    distributed_blocks = TokenBlocking(engine=context).block(profiles)
+    print(
+        f"\ndistributed token blocking: {len(distributed_blocks)} blocks, "
+        f"engine metrics: {context.metrics_summary()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Clean-clean product matching with loose-schema (BLAST) blocking.
+
+This example mirrors the demo's headline scenario: two product catalogs with
+*different schemas* (Abt-style ``name/description/price`` vs Buy-style
+``title/short_descr/list_price/manufacturer``).  It shows each blocker stage
+explicitly — loose-schema generation, blocking, purging, filtering,
+entropy-weighted meta-blocking — and compares the result against plain
+schema-agnostic blocking.
+
+    python examples/product_deduplication.py
+"""
+
+from __future__ import annotations
+
+from repro.blocking import BlockFiltering, BlockPurging, LooseSchemaTokenBlocking, TokenBlocking
+from repro.blocking.stats import candidate_pair_stats, compute_blocking_stats
+from repro.data.synthetic import SyntheticConfig, generate_abt_buy_like
+from repro.evaluation.report import format_table
+from repro.looseschema import AttributePartitioner, EntropyExtractor
+from repro.metablocking import MetaBlocker
+
+
+def main() -> None:
+    dataset = generate_abt_buy_like(SyntheticConfig(num_entities=300, seed=7))
+    profiles, truth = dataset.profiles, dataset.ground_truth
+    max_comparisons = profiles.max_comparisons()
+    print("dataset:", dataset.summary())
+
+    # ------------------------------------------------------------------
+    # Loose-schema generator: attribute partitioning + entropies.
+    # ------------------------------------------------------------------
+    partitioning = AttributePartitioner(threshold=0.1).partition(profiles)
+    entropies = EntropyExtractor().extract(profiles, partitioning)
+    print("\nattribute partitions (the loose schema):")
+    for line in partitioning.describe():
+        print("  " + line)
+    print("cluster entropies:", {k: round(v, 3) for k, v in sorted(entropies.items())})
+
+    # ------------------------------------------------------------------
+    # Blocking pipeline, stage by stage.
+    # ------------------------------------------------------------------
+    rows = []
+
+    loose_blocks = LooseSchemaTokenBlocking(
+        partitioning, cluster_entropies=entropies
+    ).block(profiles)
+    rows.append(
+        {"stage": "loose-schema token blocking",
+         **compute_blocking_stats(loose_blocks, truth, max_comparisons=max_comparisons).as_dict()}
+    )
+
+    purged = BlockPurging(max_profile_fraction=0.5).purge(loose_blocks, len(profiles))
+    rows.append(
+        {"stage": "block purging",
+         **compute_blocking_stats(purged, truth, max_comparisons=max_comparisons).as_dict()}
+    )
+
+    filtered = BlockFiltering(ratio=0.8).filter(purged)
+    rows.append(
+        {"stage": "block filtering",
+         **compute_blocking_stats(filtered, truth, max_comparisons=max_comparisons).as_dict()}
+    )
+
+    blast = MetaBlocker("cbs", "wnp", use_entropy=True).run(filtered)
+    rows.append(
+        {"stage": "meta-blocking + entropy (BLAST)", "blocks": "-",
+         **candidate_pair_stats(blast.candidate_pairs, truth, max_comparisons=max_comparisons)}
+    )
+
+    # Baseline: schema-agnostic token blocking + plain meta-blocking.
+    agnostic_blocks = BlockFiltering(ratio=0.8).filter(
+        BlockPurging().purge(TokenBlocking().block(profiles), len(profiles))
+    )
+    agnostic = MetaBlocker("cbs", "wnp", use_entropy=False).run(agnostic_blocks)
+    rows.append(
+        {"stage": "baseline: schema-agnostic meta-blocking", "blocks": "-",
+         **candidate_pair_stats(agnostic.candidate_pairs, truth, max_comparisons=max_comparisons)}
+    )
+
+    print()
+    print(format_table(rows, title="blocking pipeline (loose schema vs schema-agnostic)"))
+
+    reduction = 1 - len(blast.candidate_pairs) / max(len(agnostic.candidate_pairs), 1)
+    print(
+        f"\nBLAST retains {len(blast.candidate_pairs)} candidate pairs vs "
+        f"{len(agnostic.candidate_pairs)} for the schema-agnostic baseline "
+        f"({reduction:.0%} fewer) at comparable recall."
+    )
+
+
+if __name__ == "__main__":
+    main()

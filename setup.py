@@ -1,0 +1,4 @@
+"""Setuptools entry point (kept for legacy editable installs without the wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""SparkER reproduction: scalable entity resolution.
+
+This package reproduces the system described in *SparkER: Scaling Entity
+Resolution in Spark* (EDBT 2019).  It provides:
+
+* ``repro.engine`` -- a miniature MapReduce/Spark-like dataflow engine used as
+  the execution substrate for all parallel algorithms,
+* ``repro.data`` -- the entity-profile data model, loaders and synthetic
+  dataset generators,
+* ``repro.blocking`` -- schema-agnostic token blocking, loose-schema (BLAST)
+  blocking, block purging and block filtering,
+* ``repro.looseschema`` -- the loose-schema generator (LSH attribute
+  partitioning + attribute-cluster entropy),
+* ``repro.metablocking`` -- the blocking graph, edge-weighting schemes,
+  pruning strategies, BLAST entropy re-weighting and the broadcast-join style
+  parallel meta-blocking,
+* ``repro.matching`` -- similarity functions, threshold / rule matchers and a
+  supervised pair classifier,
+* ``repro.clustering`` -- entity clustering algorithms (connected components
+  and alternatives),
+* ``repro.evaluation`` -- blocking and matching quality metrics,
+* ``repro.sampling`` -- the process-debugging sampler,
+* ``repro.core`` -- the SparkER pipeline modules (Blocker, Entity Matcher,
+  Entity Clusterer), the end-to-end :class:`~repro.core.sparker.SparkER`
+  facade and the process-debugging session.
+"""
+
+from repro.version import __version__
+from repro.data.profile import EntityProfile, KeyValue
+from repro.data.dataset import ProfileCollection
+from repro.data.ground_truth import GroundTruth
+from repro.core.config import SparkERConfig, BlockerConfig, MatcherConfig, ClustererConfig
+from repro.core.sparker import SparkER, SparkERResult
+from repro.core.blocker import Blocker, BlockerReport
+from repro.core.entity_matcher import EntityMatcher
+from repro.core.entity_clusterer import EntityClusterer
+from repro.core.debugging import DebugSession
+
+__all__ = [
+    "__version__",
+    "EntityProfile",
+    "KeyValue",
+    "ProfileCollection",
+    "GroundTruth",
+    "SparkERConfig",
+    "BlockerConfig",
+    "MatcherConfig",
+    "ClustererConfig",
+    "SparkER",
+    "SparkERResult",
+    "Blocker",
+    "BlockerReport",
+    "EntityMatcher",
+    "EntityClusterer",
+    "DebugSession",
+]

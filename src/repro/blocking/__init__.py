@@ -1,0 +1,21 @@
+"""Blocking: token blocking, loose-schema blocking, purging and filtering."""
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.base import Blocker as BlockingStrategy
+from repro.blocking.token_blocking import TokenBlocking
+from repro.blocking.loose_schema_blocking import LooseSchemaTokenBlocking
+from repro.blocking.purging import BlockPurging
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.stats import BlockingStats, compute_blocking_stats
+
+__all__ = [
+    "Block",
+    "BlockCollection",
+    "BlockingStrategy",
+    "TokenBlocking",
+    "LooseSchemaTokenBlocking",
+    "BlockPurging",
+    "BlockFiltering",
+    "BlockingStats",
+    "compute_blocking_stats",
+]

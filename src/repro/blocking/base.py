@@ -1,0 +1,19 @@
+"""Base class of blocking strategies."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.blocking.block import BlockCollection
+from repro.data.dataset import ProfileCollection
+
+
+class Blocker(ABC):
+    """A blocking strategy maps a profile collection to a block collection."""
+
+    @abstractmethod
+    def block(self, profiles: ProfileCollection) -> BlockCollection:
+        """Build the block collection for ``profiles``."""
+
+    def __call__(self, profiles: ProfileCollection) -> BlockCollection:
+        return self.block(profiles)

@@ -1,0 +1,169 @@
+"""Blocks and block collections.
+
+A *block* is the set of profiles sharing one blocking key.  For clean-clean ER
+a block keeps the two sources separate (only cross-source comparisons count);
+for dirty ER all profiles sit in a single group and every unordered pair is a
+comparison.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.exceptions import BlockingError
+
+
+@dataclass
+class Block:
+    """One block of a blocking collection.
+
+    Parameters
+    ----------
+    key:
+        The blocking key (a token, or ``token_clusterId`` for loose-schema
+        blocking).
+    profiles_source0 / profiles_source1:
+        Profile ids per source.  Dirty-ER blocks keep every profile in
+        ``profiles_source0`` and leave ``profiles_source1`` empty.
+    entropy:
+        Entropy of the attribute cluster the key belongs to (BLAST); 1.0 when
+        entropy is not used.
+    """
+
+    key: str
+    profiles_source0: set[int] = field(default_factory=set)
+    profiles_source1: set[int] = field(default_factory=set)
+    entropy: float = 1.0
+    clean_clean: bool = False
+
+    @property
+    def is_clean_clean(self) -> bool:
+        """True when the block belongs to a clean-clean (two sources) task.
+
+        A block created for a clean-clean collection stays clean-clean even if
+        a later stage (e.g. block filtering) removes every profile of one
+        source: it must not start producing within-source comparisons.
+        """
+        return self.clean_clean or bool(self.profiles_source1)
+
+    @property
+    def size(self) -> int:
+        """Number of profiles in the block."""
+        return len(self.profiles_source0) + len(self.profiles_source1)
+
+    def all_profiles(self) -> set[int]:
+        """All profile ids in the block (both sources)."""
+        return self.profiles_source0 | self.profiles_source1
+
+    def num_comparisons(self) -> int:
+        """Number of distinct comparisons induced by this block."""
+        if self.is_clean_clean:
+            return len(self.profiles_source0) * len(self.profiles_source1)
+        n = len(self.profiles_source0)
+        return n * (n - 1) // 2
+
+    def comparisons(self) -> Iterator[tuple[int, int]]:
+        """Yield every comparison (canonically ordered pair) of this block."""
+        if self.is_clean_clean:
+            for a in self.profiles_source0:
+                for b in self.profiles_source1:
+                    yield (a, b) if a <= b else (b, a)
+        else:
+            ordered = sorted(self.profiles_source0)
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1 :]:
+                    yield a, b
+
+    def contains(self, profile_id: int) -> bool:
+        """True if ``profile_id`` belongs to this block."""
+        return profile_id in self.profiles_source0 or profile_id in self.profiles_source1
+
+    def remove(self, profile_id: int) -> None:
+        """Remove ``profile_id`` from the block (no-op if absent)."""
+        self.profiles_source0.discard(profile_id)
+        self.profiles_source1.discard(profile_id)
+
+    def is_valid(self) -> bool:
+        """A block is valid only if it induces at least one comparison."""
+        return self.num_comparisons() > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Block(key={self.key!r}, s0={len(self.profiles_source0)}, "
+            f"s1={len(self.profiles_source1)}, entropy={self.entropy:.3f})"
+        )
+
+
+class BlockCollection:
+    """An ordered collection of blocks with profile-level indexing."""
+
+    def __init__(self, blocks: Iterable[Block] = (), *, clean_clean: bool = False) -> None:
+        self.clean_clean = clean_clean
+        self._blocks: list[Block] = []
+        for block in blocks:
+            self.add(block)
+
+    def add(self, block: Block) -> None:
+        """Append a block to the collection."""
+        if not isinstance(block, Block):
+            raise BlockingError("only Block instances can be added")
+        self._blocks.append(block)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __getitem__(self, index: int) -> Block:
+        return self._blocks[index]
+
+    @property
+    def blocks(self) -> list[Block]:
+        """The underlying block list."""
+        return self._blocks
+
+    def total_comparisons(self) -> int:
+        """Sum of per-block comparisons (pairs may be counted more than once)."""
+        return sum(block.num_comparisons() for block in self._blocks)
+
+    def distinct_comparisons(self) -> set[tuple[int, int]]:
+        """The set of distinct candidate pairs across all blocks."""
+        pairs: set[tuple[int, int]] = set()
+        for block in self._blocks:
+            pairs.update(block.comparisons())
+        return pairs
+
+    def profile_index(self) -> dict[int, list[int]]:
+        """Map each profile id to the indices of the blocks that contain it."""
+        index: dict[int, list[int]] = {}
+        for block_index, block in enumerate(self._blocks):
+            for profile_id in block.all_profiles():
+                index.setdefault(profile_id, []).append(block_index)
+        return index
+
+    def profile_ids(self) -> set[int]:
+        """All profile ids appearing in at least one block."""
+        ids: set[int] = set()
+        for block in self._blocks:
+            ids.update(block.all_profiles())
+        return ids
+
+    def purge_invalid(self) -> "BlockCollection":
+        """Return a new collection without blocks that induce no comparison."""
+        return BlockCollection(
+            (b for b in self._blocks if b.is_valid()), clean_clean=self.clean_clean
+        )
+
+    def sorted_by_size(self, descending: bool = True) -> list[Block]:
+        """Blocks sorted by number of comparisons."""
+        return sorted(
+            self._blocks, key=lambda b: b.num_comparisons(), reverse=descending
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCollection(blocks={len(self._blocks)}, "
+            f"comparisons={self.total_comparisons()}, clean_clean={self.clean_clean})"
+        )

@@ -1,0 +1,109 @@
+"""Blocking quality statistics.
+
+The demo GUI (Figure 6) shows, after every configuration change: the number of
+blocks, the number of candidate pairs, recall (pairs completeness), precision
+(pairs quality) and the list of lost ground-truth pairs.  This module computes
+all of them from a block collection and the ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocking.block import BlockCollection
+from repro.data.ground_truth import GroundTruth
+
+
+@dataclass
+class BlockingStats:
+    """Quality statistics of one blocking collection."""
+
+    num_blocks: int
+    num_candidate_pairs: int
+    total_comparisons: int
+    recall: float
+    precision: float
+    lost_pairs: set[tuple[int, int]]
+    reduction_ratio: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of blocking recall and precision."""
+        if self.recall + self.precision == 0:
+            return 0.0
+        return 2 * self.recall * self.precision / (self.recall + self.precision)
+
+    def as_dict(self) -> dict[str, object]:
+        """Flat dictionary used by reports and benchmarks."""
+        return {
+            "blocks": self.num_blocks,
+            "candidate_pairs": self.num_candidate_pairs,
+            "total_comparisons": self.total_comparisons,
+            "recall": round(self.recall, 4),
+            "precision": round(self.precision, 6),
+            "f1": round(self.f1, 6),
+            "lost_pairs": len(self.lost_pairs),
+            "reduction_ratio": round(self.reduction_ratio, 4),
+        }
+
+
+def compute_blocking_stats(
+    blocks: BlockCollection,
+    ground_truth: GroundTruth,
+    *,
+    max_comparisons: int | None = None,
+) -> BlockingStats:
+    """Compute recall / precision / reduction statistics of ``blocks``.
+
+    Parameters
+    ----------
+    blocks:
+        The blocking collection to evaluate.
+    ground_truth:
+        The true matches.
+    max_comparisons:
+        Number of comparisons of the naive all-pairs solution, used for the
+        reduction ratio; when omitted the reduction ratio is reported as 0.
+    """
+    candidate_pairs = blocks.distinct_comparisons()
+    true_pairs = ground_truth.pairs()
+    found = candidate_pairs & true_pairs
+
+    recall = len(found) / len(true_pairs) if true_pairs else 1.0
+    precision = len(found) / len(candidate_pairs) if candidate_pairs else 0.0
+    reduction = 0.0
+    if max_comparisons:
+        reduction = 1.0 - (len(candidate_pairs) / max_comparisons)
+
+    return BlockingStats(
+        num_blocks=len(blocks),
+        num_candidate_pairs=len(candidate_pairs),
+        total_comparisons=blocks.total_comparisons(),
+        recall=recall,
+        precision=precision,
+        lost_pairs=true_pairs - candidate_pairs,
+        reduction_ratio=reduction,
+    )
+
+
+def candidate_pair_stats(
+    candidate_pairs: set[tuple[int, int]],
+    ground_truth: GroundTruth,
+    *,
+    max_comparisons: int | None = None,
+) -> dict[str, object]:
+    """Same statistics but for an explicit candidate-pair set (post meta-blocking)."""
+    true_pairs = ground_truth.pairs()
+    found = candidate_pairs & true_pairs
+    recall = len(found) / len(true_pairs) if true_pairs else 1.0
+    precision = len(found) / len(candidate_pairs) if candidate_pairs else 0.0
+    reduction = 0.0
+    if max_comparisons:
+        reduction = 1.0 - (len(candidate_pairs) / max_comparisons)
+    return {
+        "candidate_pairs": len(candidate_pairs),
+        "recall": round(recall, 4),
+        "precision": round(precision, 6),
+        "lost_pairs": len(true_pairs - candidate_pairs),
+        "reduction_ratio": round(reduction, 4),
+    }

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+The original SparkER ships a GUI for non-expert users; in a library-only
+reproduction the equivalent is a small CLI that runs the unsupervised pipeline
+on CSV/JSON inputs (or the built-in synthetic datasets), prints the per-stage
+report and optionally writes the resolved entities and the tuned configuration
+to JSON files.
+
+Usage examples::
+
+    # end-to-end run on the synthetic Abt-Buy stand-in
+    python -m repro.cli run --synthetic abt-buy --entities 200
+
+    # clean-clean ER on two CSV files with a ground-truth mapping
+    python -m repro.cli run --source0 abt.csv --source1 buy.csv \
+        --ground-truth mapping.csv --id-field id --output entities.json
+
+    # inspect the attribute partitioning at a given threshold
+    python -m repro.cli partition --synthetic abt-buy --threshold 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import SparkERConfig
+from repro.core.sparker import SparkER
+from repro.data.dataset import DatasetPair, ProfileCollection
+from repro.data.ground_truth import GroundTruth
+from repro.data.loaders import load_csv, load_json
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_abt_buy_like,
+    generate_bibliographic,
+    generate_dirty_persons,
+)
+from repro.evaluation.report import format_table
+from repro.exceptions import SparkERError
+from repro.looseschema.attribute_partitioning import AttributePartitioner
+from repro.looseschema.entropy import EntropyExtractor
+
+_SYNTHETIC_GENERATORS = {
+    "abt-buy": lambda n, seed: generate_abt_buy_like(SyntheticConfig(num_entities=n, seed=seed)),
+    "bibliographic": lambda n, seed: generate_bibliographic(num_entities=n, seed=seed),
+    "dirty-persons": lambda n, seed: generate_dirty_persons(num_entities=n, seed=seed),
+}
+
+
+def _load_file(path: Path, *, id_field: str | None, source_id: int, start_id: int):
+    if path.suffix.lower() == ".json":
+        return load_json(path, id_field=id_field, source_id=source_id, start_id=start_id)
+    return load_csv(path, id_field=id_field, source_id=source_id, start_id=start_id)
+
+
+def _load_dataset(args: argparse.Namespace) -> DatasetPair:
+    """Build the dataset from --synthetic or from --source0/--source1 files."""
+    if args.synthetic:
+        generator = _SYNTHETIC_GENERATORS[args.synthetic]
+        return generator(args.entities, args.seed)
+
+    if not args.source0:
+        raise SparkERError("either --synthetic or --source0 must be given")
+
+    profiles0 = _load_file(
+        Path(args.source0), id_field=args.id_field, source_id=0, start_id=0
+    )
+    collection = ProfileCollection(profiles0)
+    id_map0 = {p.original_id: p.profile_id for p in profiles0}
+    id_map1: dict[str, int] = {}
+    if args.source1:
+        profiles1 = _load_file(
+            Path(args.source1), id_field=args.id_field, source_id=1, start_id=len(profiles0)
+        )
+        for profile in profiles1:
+            collection.add(profile)
+        id_map1 = {p.original_id: p.profile_id for p in profiles1}
+
+    ground_truth = GroundTruth()
+    if args.ground_truth:
+        import csv as _csv
+
+        with Path(args.ground_truth).open(newline="", encoding="utf-8") as handle:
+            reader = _csv.DictReader(handle)
+            fields = reader.fieldnames or []
+            if len(fields) < 2:
+                raise SparkERError("the ground-truth CSV needs two id columns")
+            right_map = id_map1 or id_map0
+            for row in reader:
+                left = id_map0.get(str(row[fields[0]]).strip())
+                right = right_map.get(str(row[fields[1]]).strip())
+                if left is not None and right is not None:
+                    ground_truth.add(left, right)
+
+    name = Path(args.source0).stem
+    return DatasetPair(profiles=collection, ground_truth=ground_truth, name=name)
+
+
+def _config_from_args(args: argparse.Namespace) -> SparkERConfig:
+    config = (
+        SparkERConfig.schema_agnostic()
+        if getattr(args, "schema_agnostic", False)
+        else SparkERConfig.unsupervised_default()
+    )
+    if getattr(args, "threshold", None) is not None:
+        config.blocker.attribute_threshold = args.threshold
+    if getattr(args, "match_threshold", None) is not None:
+        config.matcher.threshold = args.match_threshold
+    if getattr(args, "similarity", None):
+        config.matcher.similarity = args.similarity
+    config.validate()
+    return config
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    config = _config_from_args(args)
+    pipeline = SparkER(config, use_engine=args.engine)
+    ground_truth = dataset.ground_truth if len(dataset.ground_truth) else None
+    result = pipeline.run(dataset.profiles, ground_truth)
+
+    print(f"dataset: {dataset.summary()}")
+    print()
+    print(format_table(result.report.as_rows(), title="pipeline stages"))
+    print()
+    print(f"summary: {result.summary()}")
+
+    if args.output:
+        Path(args.output).write_text(json.dumps(result.entities, indent=2), encoding="utf-8")
+        print(f"entities written to {args.output}")
+    if args.save_config:
+        Path(args.save_config).write_text(
+            json.dumps(config.as_dict(), indent=2), encoding="utf-8"
+        )
+        print(f"configuration written to {args.save_config}")
+    return 0
+
+
+def _command_partition(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args)
+    partitioning = AttributePartitioner(threshold=args.threshold).partition(dataset.profiles)
+    entropies = EntropyExtractor().extract(dataset.profiles, partitioning)
+    print(f"attribute partitioning at threshold {args.threshold}:")
+    for line in partitioning.describe():
+        print("  " + line)
+    print("cluster entropies:")
+    for cluster_id, entropy in sorted(entropies.items()):
+        print(f"  cluster {cluster_id}: {entropy:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SparkER reproduction: scalable entity resolution"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--synthetic", choices=sorted(_SYNTHETIC_GENERATORS), default=None,
+                         help="use a built-in synthetic dataset instead of input files")
+        sub.add_argument("--entities", type=int, default=200,
+                         help="number of entities for the synthetic generators")
+        sub.add_argument("--seed", type=int, default=42, help="synthetic generator seed")
+        sub.add_argument("--source0", help="first dataset (CSV or JSON)")
+        sub.add_argument("--source1", help="second dataset for clean-clean ER")
+        sub.add_argument("--ground-truth", help="CSV of matching original-id pairs")
+        sub.add_argument("--id-field", default=None, help="name of the record-id column")
+
+    run = subparsers.add_parser("run", help="run the full ER pipeline")
+    add_dataset_arguments(run)
+    run.add_argument("--schema-agnostic", action="store_true",
+                     help="disable the loose-schema generator")
+    run.add_argument("--threshold", type=float, default=None,
+                     help="attribute-partitioning threshold")
+    run.add_argument("--similarity", default=None, help="matcher similarity function")
+    run.add_argument("--match-threshold", type=float, default=None,
+                     help="matcher similarity threshold")
+    run.add_argument("--engine", action="store_true",
+                     help="run the distributed code paths on the mini engine")
+    run.add_argument("--output", help="write resolved entities to this JSON file")
+    run.add_argument("--save-config", help="write the used configuration to this JSON file")
+    run.set_defaults(handler=_command_run)
+
+    partition = subparsers.add_parser(
+        "partition", help="show the attribute partitioning at a threshold"
+    )
+    add_dataset_arguments(partition)
+    partition.add_argument("--threshold", type=float, default=0.3)
+    partition.set_defaults(handler=_command_partition)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except SparkERError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

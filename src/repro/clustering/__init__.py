@@ -1,0 +1,18 @@
+"""Entity clustering: group matched pairs into entities."""
+
+from repro.clustering.base import EntityCluster, ClusteringAlgorithm
+from repro.clustering.connected_components import ConnectedComponentsClustering
+from repro.clustering.center_clustering import CenterClustering
+from repro.clustering.merge_center import MergeCenterClustering
+from repro.clustering.unique_mapping import UniqueMappingClustering
+from repro.clustering.registry import make_clustering_algorithm
+
+__all__ = [
+    "EntityCluster",
+    "ClusteringAlgorithm",
+    "ConnectedComponentsClustering",
+    "CenterClustering",
+    "MergeCenterClustering",
+    "UniqueMappingClustering",
+    "make_clustering_algorithm",
+]

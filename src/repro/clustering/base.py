@@ -1,0 +1,71 @@
+"""Base classes of the entity clusterer.
+
+The clusterer receives the similarity graph (profiles = nodes, matched pairs =
+edges) and partitions the nodes into equivalence clusters; every cluster
+represents one real-world entity (Figure 5 of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.matching.similarity_graph import SimilarityGraph
+
+
+@dataclass
+class EntityCluster:
+    """One resolved entity: the set of profile ids that refer to it."""
+
+    cluster_id: int
+    members: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def pairs(self) -> set[tuple[int, int]]:
+        """Every within-cluster pair (the pairs the cluster asserts as matches)."""
+        ordered = sorted(self.members)
+        return {
+            (a, b)
+            for i, a in enumerate(ordered)
+            for b in ordered[i + 1 :]
+        }
+
+    def __contains__(self, profile_id: int) -> bool:
+        return profile_id in self.members
+
+    def __repr__(self) -> str:
+        return f"EntityCluster(id={self.cluster_id}, size={self.size})"
+
+
+def clusters_to_pairs(clusters: Iterable[EntityCluster]) -> set[tuple[int, int]]:
+    """Union of the within-cluster pairs of a cluster list."""
+    pairs: set[tuple[int, int]] = set()
+    for cluster in clusters:
+        pairs.update(cluster.pairs())
+    return pairs
+
+
+class ClusteringAlgorithm(ABC):
+    """A clustering algorithm maps a similarity graph to entity clusters."""
+
+    @abstractmethod
+    def cluster(self, graph: SimilarityGraph) -> list[EntityCluster]:
+        """Partition the graph's nodes into entity clusters."""
+
+    def __call__(self, graph: SimilarityGraph) -> list[EntityCluster]:
+        return self.cluster(graph)
+
+    @staticmethod
+    def _build_clusters(assignment: dict[int, object]) -> list[EntityCluster]:
+        """Turn a node → component-label mapping into EntityCluster objects."""
+        groups: dict[object, set[int]] = {}
+        for node, label in assignment.items():
+            groups.setdefault(label, set()).add(node)
+        clusters = []
+        for index, (_label, members) in enumerate(sorted(groups.items(), key=lambda kv: repr(kv[0]))):
+            clusters.append(EntityCluster(cluster_id=index, members=members))
+        return clusters

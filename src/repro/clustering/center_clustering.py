@@ -1,0 +1,52 @@
+"""Center clustering (Hassanzadeh et al., VLDB 2009).
+
+Edges are visited in descending similarity order; the first time a node is
+seen it becomes a *center*; other nodes are assigned to the center of the
+first strong edge that connects them to one.  Unlike connected components,
+center clustering does not chain long weak paths together, which limits the
+damage of a single wrong match.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.base import ClusteringAlgorithm, EntityCluster
+from repro.matching.similarity_graph import SimilarityGraph
+
+
+class CenterClustering(ClusteringAlgorithm):
+    """Greedy center-based clustering over the similarity graph."""
+
+    def cluster(self, graph: SimilarityGraph) -> list[EntityCluster]:
+        # Sort edges by descending score, breaking ties deterministically.
+        edges = sorted(graph, key=lambda e: (-e.score, e.pair))
+        center_of: dict[int, int] = {}
+        is_center: set[int] = set()
+
+        for edge in edges:
+            a, b = edge.pair
+            a_assigned = a in center_of
+            b_assigned = b in center_of
+            if not a_assigned and not b_assigned:
+                # The first endpoint becomes a center, the other joins it.
+                center_of[a] = a
+                is_center.add(a)
+                center_of[b] = a
+            elif a_assigned and not b_assigned:
+                if a in is_center:
+                    center_of[b] = a
+                else:
+                    center_of[b] = b
+                    is_center.add(b)
+            elif b_assigned and not a_assigned:
+                if b in is_center:
+                    center_of[a] = b
+                else:
+                    center_of[a] = a
+                    is_center.add(a)
+            # Both already assigned: nothing to do.
+
+        # Singleton nodes (present in the graph but never assigned).
+        for node in graph.nodes():
+            center_of.setdefault(node, node)
+
+        return self._build_clusters(center_of)

@@ -1,0 +1,35 @@
+"""Unique-mapping clustering for clean-clean ER.
+
+In clean-clean ER each source is duplicate-free, so an entity can have at most
+one profile per source; clusters therefore have at most two members.  Edges
+are taken in descending similarity order and accepted greedily while both
+endpoints are still unmatched — a maximum-weight-matching heuristic, the
+standard "unique mapping" clusterer of the ER literature.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.base import ClusteringAlgorithm, EntityCluster
+from repro.matching.similarity_graph import SimilarityGraph
+
+
+class UniqueMappingClustering(ClusteringAlgorithm):
+    """Greedy one-to-one matching of profiles across the two sources."""
+
+    def cluster(self, graph: SimilarityGraph) -> list[EntityCluster]:
+        edges = sorted(graph, key=lambda e: (-e.score, e.pair))
+        matched: set[int] = set()
+        clusters: list[EntityCluster] = []
+
+        for edge in edges:
+            a, b = edge.pair
+            if a in matched or b in matched:
+                continue
+            matched.add(a)
+            matched.add(b)
+            clusters.append(EntityCluster(cluster_id=len(clusters), members={a, b}))
+
+        for node in sorted(graph.nodes()):
+            if node not in matched:
+                clusters.append(EntityCluster(cluster_id=len(clusters), members={node}))
+        return clusters

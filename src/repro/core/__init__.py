@@ -1,0 +1,29 @@
+"""The SparkER pipeline: Blocker, Entity Matcher, Entity Clusterer, facade."""
+
+from repro.core.config import (
+    SparkERConfig,
+    BlockerConfig,
+    MatcherConfig,
+    ClustererConfig,
+    SamplingConfig,
+)
+from repro.core.blocker import Blocker, BlockerReport
+from repro.core.entity_matcher import EntityMatcher
+from repro.core.entity_clusterer import EntityClusterer
+from repro.core.sparker import SparkER, SparkERResult
+from repro.core.debugging import DebugSession
+
+__all__ = [
+    "SparkERConfig",
+    "BlockerConfig",
+    "MatcherConfig",
+    "ClustererConfig",
+    "SamplingConfig",
+    "Blocker",
+    "BlockerReport",
+    "EntityMatcher",
+    "EntityClusterer",
+    "SparkER",
+    "SparkERResult",
+    "DebugSession",
+]

@@ -1,0 +1,162 @@
+"""The end-to-end SparkER pipeline (Figure 3 of the paper).
+
+``profiles → Blocker → candidate pairs → Entity Matcher → matching pairs →
+Entity Clusterer → output entities``.  Each module is independent (a black
+box); :class:`SparkER` simply wires them together, evaluates every stage when
+a ground truth is available, and returns a :class:`SparkERResult` bundling all
+intermediate artefacts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.clustering.base import EntityCluster, clusters_to_pairs
+from repro.core.blocker import Blocker, BlockerReport
+from repro.core.config import SparkERConfig
+from repro.core.entity_clusterer import EntityClusterer
+from repro.core.entity_matcher import EntityMatcher
+from repro.data.dataset import ProfileCollection
+from repro.data.ground_truth import GroundTruth
+from repro.engine.context import EngineContext
+from repro.evaluation.metrics import clustering_metrics, pair_metrics
+from repro.evaluation.report import PipelineReport
+from repro.looseschema.attribute_partitioning import AttributePartitioning
+from repro.matching.matcher import Matcher, MatchingRule
+from repro.matching.similarity_graph import SimilarityGraph
+from repro.utils.timers import StageTimings
+
+
+@dataclass
+class SparkERResult:
+    """All outputs of one end-to-end run."""
+
+    blocker_report: BlockerReport
+    candidate_pairs: set[tuple[int, int]]
+    similarity_graph: SimilarityGraph
+    clusters: list[EntityCluster]
+    entities: list[dict[str, object]]
+    report: PipelineReport = field(default_factory=PipelineReport)
+    timings: StageTimings = field(default_factory=StageTimings)
+
+    @property
+    def matched_pairs(self) -> set[tuple[int, int]]:
+        """The pairs the matcher labeled as matches."""
+        return self.similarity_graph.pairs()
+
+    @property
+    def resolved_pairs(self) -> set[tuple[int, int]]:
+        """The pairs asserted by the final clusters (after transitive closure)."""
+        return clusters_to_pairs(self.clusters)
+
+    def summary(self) -> dict[str, object]:
+        """Headline numbers of the run."""
+        return {
+            "candidate_pairs": len(self.candidate_pairs),
+            "matched_pairs": len(self.matched_pairs),
+            "clusters": len(self.clusters),
+            "entities": len(self.entities),
+        }
+
+
+class SparkER:
+    """The full entity-resolution pipeline.
+
+    Parameters
+    ----------
+    config:
+        The pipeline configuration (defaults to the unsupervised defaults).
+    use_engine:
+        When True an :class:`EngineContext` is created with
+        ``config.parallelism`` partitions and the distributed code paths are
+        used for blocking, meta-blocking and clustering.
+    partitioning:
+        Optional user-supplied attribute partitioning (supervised mode).
+    rules / labeled_pairs / matcher:
+        Forwarded to :class:`~repro.core.entity_matcher.EntityMatcher`.
+    """
+
+    def __init__(
+        self,
+        config: SparkERConfig | None = None,
+        *,
+        use_engine: bool = False,
+        partitioning: AttributePartitioning | None = None,
+        rules: Sequence[MatchingRule] | None = None,
+        labeled_pairs: Sequence[tuple[int, int, bool]] | None = None,
+        matcher: Matcher | None = None,
+    ) -> None:
+        self.config = config or SparkERConfig.unsupervised_default()
+        self.config.validate()
+        self.engine = (
+            EngineContext(default_parallelism=self.config.parallelism)
+            if use_engine
+            else None
+        )
+        self.partitioning = partitioning
+        self.rules = rules
+        self.labeled_pairs = labeled_pairs
+        self.custom_matcher = matcher
+
+    # ------------------------------------------------------------------ public
+    def run(
+        self,
+        profiles: ProfileCollection,
+        ground_truth: GroundTruth | None = None,
+    ) -> SparkERResult:
+        """Run blocker → matcher → clusterer and return every artefact."""
+        timings = StageTimings()
+        report = PipelineReport()
+
+        # -- blocker -----------------------------------------------------------
+        blocker = Blocker(
+            self.config.blocker, engine=self.engine, partitioning=self.partitioning
+        )
+        with timings.time("blocker"):
+            blocker_report = blocker.run(profiles, ground_truth)
+        candidate_pairs = blocker_report.candidate_pairs
+        for stage in blocker_report.pipeline_report.stages:
+            report.add(f"blocker.{stage.stage}", stage.metrics)
+
+        # -- entity matcher ----------------------------------------------------
+        entity_matcher = EntityMatcher(
+            self.config.matcher,
+            rules=self.rules,
+            labeled_pairs=self.labeled_pairs,
+            partitioning=blocker_report.partitioning,
+            matcher=self.custom_matcher,
+        )
+        with timings.time("matcher"):
+            similarity_graph = entity_matcher.match(profiles, sorted(candidate_pairs))
+        matcher_metrics: dict[str, object] = {"matched_pairs": len(similarity_graph)}
+        if ground_truth is not None:
+            matcher_metrics.update(
+                pair_metrics(similarity_graph.pairs(), ground_truth).as_dict()
+            )
+        report.add("matcher", matcher_metrics)
+
+        # -- entity clusterer --------------------------------------------------
+        clusterer = EntityClusterer(self.config.clusterer, engine=self.engine)
+        with timings.time("clusterer"):
+            clusters = clusterer.cluster(similarity_graph)
+            entities = clusterer.generate_entities(clusters, profiles)
+        clusterer_metrics: dict[str, object] = {"clusters": len(clusters)}
+        if ground_truth is not None:
+            clusterer_metrics.update(clustering_metrics(clusters, ground_truth))
+        report.add("clusterer", clusterer_metrics)
+
+        return SparkERResult(
+            blocker_report=blocker_report,
+            candidate_pairs=candidate_pairs,
+            similarity_graph=similarity_graph,
+            clusters=clusters,
+            entities=entities,
+            report=report,
+            timings=timings,
+        )
+
+    def __call__(
+        self, profiles: ProfileCollection, ground_truth: GroundTruth | None = None
+    ) -> SparkERResult:
+        return self.run(profiles, ground_truth)

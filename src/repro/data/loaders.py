@@ -1,0 +1,151 @@
+"""Loaders: build profile collections from CSV / JSON / JSON-lines files.
+
+The original SparkER loads CSV and JSON datasets into ``EntityProfile`` RDDs;
+these loaders produce the same profile structure driver-side.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.data.dataset import ProfileCollection
+from repro.data.ground_truth import GroundTruth
+from repro.data.profile import EntityProfile
+from repro.exceptions import DataError
+
+
+def _profiles_from_records(
+    records: Iterable[dict[str, object]],
+    *,
+    id_field: str | None,
+    source_id: int,
+    start_id: int,
+) -> list[EntityProfile]:
+    profiles: list[EntityProfile] = []
+    next_id = start_id
+    for record in records:
+        original_id = str(record.get(id_field, next_id)) if id_field else str(next_id)
+        profile = EntityProfile(
+            profile_id=next_id, original_id=original_id, source_id=source_id
+        )
+        for attribute, value in record.items():
+            if id_field is not None and attribute == id_field:
+                continue
+            if isinstance(value, (list, tuple)):
+                for item in value:
+                    profile.add(attribute, item)
+            else:
+                profile.add(attribute, value)
+        profiles.append(profile)
+        next_id += 1
+    return profiles
+
+
+def load_csv(
+    path: str | Path,
+    *,
+    id_field: str | None = None,
+    source_id: int = 0,
+    start_id: int = 0,
+    delimiter: str = ",",
+) -> list[EntityProfile]:
+    """Load a CSV file into a list of profiles (header row required)."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        records = [dict(row) for row in reader]
+    return _profiles_from_records(
+        records, id_field=id_field, source_id=source_id, start_id=start_id
+    )
+
+
+def load_json(
+    path: str | Path,
+    *,
+    id_field: str | None = None,
+    source_id: int = 0,
+    start_id: int = 0,
+) -> list[EntityProfile]:
+    """Load a JSON file containing a list of flat objects."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    with path.open(encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, list):
+        raise DataError("JSON dataset must be a list of objects")
+    return _profiles_from_records(
+        data, id_field=id_field, source_id=source_id, start_id=start_id
+    )
+
+
+def load_jsonl(
+    path: str | Path,
+    *,
+    id_field: str | None = None,
+    source_id: int = 0,
+    start_id: int = 0,
+) -> list[EntityProfile]:
+    """Load a JSON-lines file (one object per line)."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    records = []
+    with path.open(encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return _profiles_from_records(
+        records, id_field=id_field, source_id=source_id, start_id=start_id
+    )
+
+
+def load_ground_truth_csv(
+    path: str | Path,
+    id_mapping_source0: dict[str, int],
+    id_mapping_source1: dict[str, int],
+    *,
+    left_field: str = "id1",
+    right_field: str = "id2",
+    delimiter: str = ",",
+) -> GroundTruth:
+    """Load a ground-truth CSV of original-id pairs and map them to profile ids."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"no such file: {path}")
+    ground_truth = GroundTruth()
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        for row in reader:
+            left = id_mapping_source0.get(str(row[left_field]))
+            right = id_mapping_source1.get(str(row[right_field]))
+            if left is None or right is None:
+                continue
+            ground_truth.add(left, right)
+    return ground_truth
+
+
+def collection_from_records(
+    records0: Iterable[dict[str, object]],
+    records1: Iterable[dict[str, object]] | None = None,
+    *,
+    id_field: str | None = None,
+) -> ProfileCollection:
+    """Build a collection directly from in-memory record dictionaries."""
+    profiles0 = _profiles_from_records(
+        records0, id_field=id_field, source_id=0, start_id=0
+    )
+    collection = ProfileCollection(profiles0)
+    if records1 is not None:
+        profiles1 = _profiles_from_records(
+            records1, id_field=id_field, source_id=1, start_id=len(profiles0)
+        )
+        for profile in profiles1:
+            collection.add(profile)
+    return collection

@@ -1,0 +1,54 @@
+"""Accumulators: write-only shared counters, as in Spark.
+
+The blocker uses accumulators to count, e.g., how many comparisons each stage
+would perform without materialising them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A commutative, associative counter updated from tasks.
+
+    Parameters
+    ----------
+    initial:
+        Starting value (also the identity of ``combine``).
+    combine:
+        Binary function folding a task-side update into the current value.
+        Defaults to ``+``.
+    """
+
+    def __init__(
+        self,
+        accumulator_id: int,
+        initial: T,
+        combine: Callable[[T, T], T] | None = None,
+    ) -> None:
+        self._id = accumulator_id
+        self._value = initial
+        self._combine = combine if combine is not None else lambda a, b: a + b  # type: ignore[operator]
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    @property
+    def value(self) -> T:
+        """Current accumulated value (driver-side read)."""
+        return self._value
+
+    def add(self, update: T) -> None:
+        """Fold ``update`` into the accumulator."""
+        self._value = self._combine(self._value, update)
+
+    def __iadd__(self, update: T) -> "Accumulator[T]":
+        self.add(update)
+        return self
+
+    def __repr__(self) -> str:
+        return f"Accumulator(id={self._id}, value={self._value!r})"

@@ -1,0 +1,46 @@
+"""Broadcast variables.
+
+In Spark a broadcast variable ships a read-only value to every executor once
+instead of with every task.  The parallel meta-blocking of SparkER broadcasts
+the compact block index to every partition of the blocking-graph nodes.  Here
+the value stays in process memory, but the engine still counts one logical
+"shipment" per partition that reads it, so benchmarks can report broadcast
+volume.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Broadcast(Generic[T]):
+    """A read-only value shared by all tasks of a job."""
+
+    def __init__(self, broadcast_id: int, value: T) -> None:
+        self._id = broadcast_id
+        self._value = value
+        self._destroyed = False
+        self.access_count = 0
+
+    @property
+    def id(self) -> int:
+        return self._id
+
+    @property
+    def value(self) -> T:
+        """Return the broadcast value (raises if the broadcast was destroyed)."""
+        if self._destroyed:
+            raise ValueError(f"Broadcast {self._id} was destroyed")
+        self.access_count += 1
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the broadcast value."""
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else "live"
+        return f"Broadcast(id={self._id}, {state})"

@@ -1,0 +1,101 @@
+"""The engine context — the ``SparkContext`` of the mini engine.
+
+Create one :class:`EngineContext` per pipeline run.  It owns the scheduler
+(metrics), broadcast variables and accumulators, and is the factory for RDDs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any, Callable, TypeVar
+
+from repro.engine.accumulators import Accumulator
+from repro.engine.broadcast import Broadcast
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.engine.scheduler import Scheduler
+from repro.exceptions import EngineError
+
+T = TypeVar("T")
+
+
+class EngineContext:
+    """Entry point of the mini dataflow engine.
+
+    Parameters
+    ----------
+    default_parallelism:
+        Number of partitions used by ``parallelize`` when not overridden and
+        the default for shuffle outputs.
+    app_name:
+        Label used in logs and metric reports.
+    """
+
+    def __init__(self, default_parallelism: int = 4, app_name: str = "sparker") -> None:
+        if default_parallelism <= 0:
+            raise EngineError("default_parallelism must be positive")
+        self.default_parallelism = default_parallelism
+        self.app_name = app_name
+        self.scheduler = Scheduler()
+        self._next_broadcast_id = 0
+        self._next_accumulator_id = 0
+        self._broadcasts: list[Broadcast[Any]] = []
+        self._accumulators: list[Accumulator[Any]] = []
+
+    # ------------------------------------------------------------------ RDDs
+    def parallelize(self, data: Sequence[Any], num_partitions: int | None = None) -> RDD:
+        """Create an RDD from a Python sequence."""
+        partitions = num_partitions or self.default_parallelism
+        if partitions <= 0:
+            raise EngineError("num_partitions must be positive")
+        return ParallelCollectionRDD(self, data, partitions)
+
+    def emptyRDD(self) -> RDD:
+        """Create an RDD with no elements (single empty partition)."""
+        return ParallelCollectionRDD(self, [], 1)
+
+    def range(self, start: int, end: int | None = None, num_partitions: int | None = None) -> RDD:
+        """Create an RDD of consecutive integers, like ``sc.range``."""
+        if end is None:
+            start, end = 0, start
+        return self.parallelize(list(range(start, end)), num_partitions)
+
+    # ----------------------------------------------------------- shared state
+    def broadcast(self, value: T) -> Broadcast[T]:
+        """Create a broadcast variable holding ``value``."""
+        broadcast = Broadcast(self._next_broadcast_id, value)
+        self._next_broadcast_id += 1
+        self._broadcasts.append(broadcast)
+        return broadcast
+
+    def accumulator(
+        self, initial: T, combine: Callable[[T, T], T] | None = None
+    ) -> Accumulator[T]:
+        """Create an accumulator starting at ``initial``."""
+        accumulator = Accumulator(self._next_accumulator_id, initial, combine)
+        self._next_accumulator_id += 1
+        self._accumulators.append(accumulator)
+        return accumulator
+
+    # ---------------------------------------------------------------- metrics
+    def metrics_summary(self) -> dict[str, Any]:
+        """Return a summary of everything executed on this context so far."""
+        return {
+            "app_name": self.app_name,
+            "default_parallelism": self.default_parallelism,
+            "jobs": len(self.scheduler.jobs),
+            "stages": len(self.scheduler.stages),
+            "tasks": self.scheduler.total_tasks,
+            "shuffle_records": self.scheduler.total_shuffle_records,
+            "broadcasts": len(self._broadcasts),
+            "accumulators": len(self._accumulators),
+        }
+
+    def reset_metrics(self) -> None:
+        """Clear recorded scheduler metrics (useful between benchmark phases)."""
+        self.scheduler.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineContext(app_name={self.app_name!r}, "
+            f"default_parallelism={self.default_parallelism})"
+        )

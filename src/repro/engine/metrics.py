@@ -1,0 +1,101 @@
+"""Task, stage and job level execution metrics.
+
+The engine records the same quantities a Spark UI exposes: per-task input and
+output record counts, shuffle read/write volume (approximated as record
+counts) and elapsed time.  The scalability benchmark uses these to report
+task-count, shuffle-volume and skew figures for the parallel meta-blocking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskMetrics:
+    """Metrics of one task (the execution of one partition of one stage)."""
+
+    stage_id: int
+    partition_index: int
+    input_records: int = 0
+    output_records: int = 0
+    shuffle_read_records: int = 0
+    shuffle_write_records: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class StageMetrics:
+    """Aggregated metrics of a stage (one task per partition)."""
+
+    stage_id: int
+    description: str
+    tasks: list[TaskMetrics] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_input_records(self) -> int:
+        return sum(t.input_records for t in self.tasks)
+
+    @property
+    def total_output_records(self) -> int:
+        return sum(t.output_records for t in self.tasks)
+
+    @property
+    def total_shuffle_read(self) -> int:
+        return sum(t.shuffle_read_records for t in self.tasks)
+
+    @property
+    def total_shuffle_write(self) -> int:
+        return sum(t.shuffle_write_records for t in self.tasks)
+
+    @property
+    def max_task_records(self) -> int:
+        """Largest per-task output — the numerator of the skew ratio."""
+        if not self.tasks:
+            return 0
+        return max(t.output_records for t in self.tasks)
+
+    @property
+    def skew(self) -> float:
+        """Ratio of the largest task to the mean task (1.0 = perfectly balanced)."""
+        if not self.tasks:
+            return 0.0
+        mean = self.total_output_records / len(self.tasks)
+        if mean == 0:
+            return 0.0
+        return self.max_task_records / mean
+
+
+@dataclass
+class JobMetrics:
+    """Metrics of a full job (an action such as ``collect`` or ``count``)."""
+
+    job_id: int
+    description: str
+    stages: list[StageMetrics] = field(default_factory=list)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(s.num_tasks for s in self.stages)
+
+    @property
+    def total_shuffle_records(self) -> int:
+        return sum(s.total_shuffle_write for s in self.stages)
+
+    def summary(self) -> dict[str, float]:
+        """Return a flat summary dictionary suitable for benchmark reports."""
+        return {
+            "job_id": self.job_id,
+            "stages": self.num_stages,
+            "tasks": self.num_tasks,
+            "shuffle_records": self.total_shuffle_records,
+            "max_skew": max((s.skew for s in self.stages), default=0.0),
+        }

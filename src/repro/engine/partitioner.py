@@ -1,0 +1,65 @@
+"""Partitioners: decide which partition a key belongs to.
+
+Mirrors Spark's ``HashPartitioner`` and ``RangePartitioner``.  Partitioning is
+deterministic across runs thanks to :func:`repro.utils.hashing.stable_hash`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import EngineError
+from repro.utils.hashing import stable_hash
+
+
+class Partitioner:
+    """Base class: maps a key to a partition index in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise EngineError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: object) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.num_partitions == other.num_partitions
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Deterministic hash partitioning (the engine's default for shuffles)."""
+
+    def partition(self, key: object) -> int:
+        return stable_hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Range partitioning over a sorted sample of keys.
+
+    Used when an ordered layout is preferable (e.g. writing sorted output).
+    Boundaries are computed from the provided key sample.
+    """
+
+    def __init__(self, num_partitions: int, keys: Sequence[object]) -> None:
+        super().__init__(num_partitions)
+        sorted_keys = sorted(keys)
+        self._boundaries: list[object] = []
+        if sorted_keys and num_partitions > 1:
+            step = len(sorted_keys) / num_partitions
+            self._boundaries = [
+                sorted_keys[min(int(step * i) , len(sorted_keys) - 1)]
+                for i in range(1, num_partitions)
+            ]
+
+    def partition(self, key: object) -> int:
+        index = 0
+        for boundary in self._boundaries:
+            if key > boundary:  # type: ignore[operator]
+                index += 1
+            else:
+                break
+        return min(index, self.num_partitions - 1)

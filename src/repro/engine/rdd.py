@@ -1,0 +1,573 @@
+"""A partitioned, lazily evaluated, lineage-tracked dataset (RDD).
+
+The RDD implements the subset of the Spark RDD API that SparkER's algorithms
+use.  Transformations build a lineage graph; nothing executes until an action
+(``collect``, ``count``, ``reduce`` ...) is called.  Materialised partitions
+are memoised on the RDD, which mirrors Spark's ``cache()`` and keeps repeated
+actions cheap (every dataset in this reproduction fits in memory).
+
+Narrow transformations (``map``, ``filter`` ...) run partition-by-partition
+without moving data.  Wide transformations (``reduceByKey``, ``groupByKey``,
+``join`` ...) shuffle records through :mod:`repro.engine.shuffle` using a
+:class:`~repro.engine.partitioner.HashPartitioner`; the shuffle volume is
+recorded by the scheduler so scalability benchmarks can report it.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import Any, TYPE_CHECKING
+
+from repro.engine.partitioner import HashPartitioner, Partitioner
+from repro.engine.shuffle import (
+    group_by_key_partition,
+    map_side_combine,
+    reduce_by_key_partition,
+    shuffle_partitions,
+)
+from repro.exceptions import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.engine.context import EngineContext
+
+
+class RDD:
+    """Base class of all RDDs.
+
+    Subclasses implement :meth:`_compute`, returning the list of materialised
+    partitions.  User code only uses the transformation / action methods.
+    """
+
+    def __init__(self, context: "EngineContext", num_partitions: int, name: str) -> None:
+        if num_partitions <= 0:
+            raise EngineError("an RDD must have at least one partition")
+        self.context = context
+        self.num_partitions = num_partitions
+        self.name = name
+        self._materialized: list[list[Any]] | None = None
+
+    # ------------------------------------------------------------------ core
+    def _compute(self) -> list[list[Any]]:
+        raise NotImplementedError
+
+    def partitions(self) -> list[list[Any]]:
+        """Materialise (once) and return the list of partitions."""
+        if self._materialized is None:
+            start = time.perf_counter()
+            partitions = self._compute()
+            elapsed = time.perf_counter() - start
+            stage = self.context.scheduler.new_stage(self.name)
+            per_task = elapsed / max(len(partitions), 1)
+            for index, partition in enumerate(partitions):
+                self.context.scheduler.record_task(
+                    stage,
+                    index,
+                    output_records=len(partition),
+                    elapsed_seconds=per_task,
+                )
+            self._materialized = partitions
+        return self._materialized
+
+    def cache(self) -> "RDD":
+        """Materialise now and keep the result (Spark ``cache``/``persist``)."""
+        self.partitions()
+        return self
+
+    def unpersist(self) -> "RDD":
+        """Drop memoised partitions; the lineage can recompute them."""
+        self._materialized = None
+        return self
+
+    # -------------------------------------------------- narrow transformations
+    def map(self, func: Callable[[Any], Any], name: str | None = None) -> "RDD":
+        """Apply ``func`` to every element."""
+        return MappedPartitionsRDD(
+            self,
+            lambda _, it: (func(x) for x in it),
+            name or f"{self.name}.map",
+        )
+
+    def flatMap(self, func: Callable[[Any], Iterable[Any]], name: str | None = None) -> "RDD":
+        """Apply ``func`` to every element and flatten the results."""
+        return MappedPartitionsRDD(
+            self,
+            lambda _, it: (y for x in it for y in func(x)),
+            name or f"{self.name}.flatMap",
+        )
+
+    def filter(self, predicate: Callable[[Any], bool], name: str | None = None) -> "RDD":
+        """Keep only the elements for which ``predicate`` is true."""
+        return MappedPartitionsRDD(
+            self,
+            lambda _, it: (x for x in it if predicate(x)),
+            name or f"{self.name}.filter",
+        )
+
+    def mapPartitions(
+        self, func: Callable[[Iterator[Any]], Iterable[Any]], name: str | None = None
+    ) -> "RDD":
+        """Apply ``func`` to the iterator of each partition."""
+        return MappedPartitionsRDD(
+            self, lambda _, it: func(it), name or f"{self.name}.mapPartitions"
+        )
+
+    def mapPartitionsWithIndex(
+        self,
+        func: Callable[[int, Iterator[Any]], Iterable[Any]],
+        name: str | None = None,
+    ) -> "RDD":
+        """Apply ``func`` to (partition index, iterator of each partition)."""
+        return MappedPartitionsRDD(
+            self, func, name or f"{self.name}.mapPartitionsWithIndex"
+        )
+
+    def keyBy(self, func: Callable[[Any], Any]) -> "RDD":
+        """Turn each element ``x`` into ``(func(x), x)``."""
+        return self.map(lambda x: (func(x), x), name=f"{self.name}.keyBy")
+
+    def mapValues(self, func: Callable[[Any], Any]) -> "RDD":
+        """Apply ``func`` to the value of each ``(key, value)`` pair."""
+        return self.map(lambda kv: (kv[0], func(kv[1])), name=f"{self.name}.mapValues")
+
+    def flatMapValues(self, func: Callable[[Any], Iterable[Any]]) -> "RDD":
+        """Apply ``func`` to each value and emit one pair per produced element."""
+        return self.flatMap(
+            lambda kv: ((kv[0], v) for v in func(kv[1])),
+            name=f"{self.name}.flatMapValues",
+        )
+
+    def keys(self) -> "RDD":
+        """Project the keys of a pair RDD."""
+        return self.map(lambda kv: kv[0], name=f"{self.name}.keys")
+
+    def values(self) -> "RDD":
+        """Project the values of a pair RDD."""
+        return self.map(lambda kv: kv[1], name=f"{self.name}.values")
+
+    def union(self, other: "RDD") -> "RDD":
+        """Concatenate two RDDs (partitions are concatenated, no shuffle)."""
+        return UnionRDD(self, other)
+
+    def zipWithIndex(self) -> "RDD":
+        """Pair every element with its global index (stable across runs)."""
+        return ZipWithIndexRDD(self)
+
+    def sample(self, fraction: float, seed: int = 17) -> "RDD":
+        """Deterministically sample a fraction of elements (without replacement)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise EngineError("fraction must be in [0, 1]")
+        from repro.utils.hashing import stable_hash
+
+        threshold = int(fraction * (2**32))
+
+        def keep(index: int, it: Iterator[Any]) -> Iterator[Any]:
+            for position, element in enumerate(it):
+                if stable_hash((seed, index, position)) % (2**32) < threshold:
+                    yield element
+
+        return MappedPartitionsRDD(self, keep, f"{self.name}.sample")
+
+    # ---------------------------------------------------- wide transformations
+    def distinct(self, num_partitions: int | None = None) -> "RDD":
+        """Remove duplicate elements (requires hashable elements)."""
+        paired = self.map(lambda x: (x, None), name=f"{self.name}.distinct.pair")
+        reduced = paired.reduceByKey(lambda a, _b: a, num_partitions=num_partitions)
+        return reduced.keys()
+
+    def partitionBy(self, partitioner: Partitioner) -> "RDD":
+        """Shuffle a pair RDD so each key lands on ``partitioner.partition(key)``."""
+        return ShuffledRDD(self, partitioner, post=None, name=f"{self.name}.partitionBy")
+
+    def repartition(self, num_partitions: int) -> "RDD":
+        """Redistribute elements round-robin over ``num_partitions`` partitions."""
+        return RepartitionedRDD(self, num_partitions)
+
+    def reduceByKey(
+        self,
+        reducer: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+    ) -> "RDD":
+        """Combine the values of each key with ``reducer`` (with map-side combine)."""
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        return ShuffledRDD(
+            self,
+            partitioner,
+            post=lambda partition: reduce_by_key_partition(partition, reducer),
+            map_side=lambda partition: map_side_combine(partition, lambda v: v, reducer),
+            name=f"{self.name}.reduceByKey",
+        )
+
+    def groupByKey(self, num_partitions: int | None = None) -> "RDD":
+        """Group the values of each key into a list."""
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        return ShuffledRDD(
+            self,
+            partitioner,
+            post=group_by_key_partition,
+            name=f"{self.name}.groupByKey",
+        )
+
+    def aggregateByKey(
+        self,
+        zero: Any,
+        seq_op: Callable[[Any, Any], Any],
+        comb_op: Callable[[Any, Any], Any],
+        num_partitions: int | None = None,
+    ) -> "RDD":
+        """Aggregate values per key with distinct within/between partition ops."""
+        def post(partition: Sequence[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+            accumulators: dict[Any, Any] = {}
+            for key, value in partition:
+                if key in accumulators:
+                    accumulators[key] = comb_op(accumulators[key], value)
+                else:
+                    accumulators[key] = value
+            return list(accumulators.items())
+
+        def map_side(partition: Sequence[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+            accumulators: dict[Any, Any] = {}
+            for key, value in partition:
+                current = accumulators.get(key, zero)
+                accumulators[key] = seq_op(current, value)
+            return list(accumulators.items())
+
+        partitioner = HashPartitioner(num_partitions or self.num_partitions)
+        return ShuffledRDD(
+            self,
+            partitioner,
+            post=post,
+            map_side=map_side,
+            name=f"{self.name}.aggregateByKey",
+        )
+
+    def cogroup(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Group both RDDs by key: ``(key, (values_self, values_other))``."""
+        return CoGroupedRDD(self, other, num_partitions)
+
+    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Inner join of two pair RDDs: ``(key, (value_self, value_other))``."""
+        def expand(kv: tuple[Any, tuple[list[Any], list[Any]]]) -> Iterator[tuple[Any, tuple[Any, Any]]]:
+            key, (left_values, right_values) = kv
+            for left in left_values:
+                for right in right_values:
+                    yield key, (left, right)
+
+        return self.cogroup(other, num_partitions).flatMap(expand, name=f"{self.name}.join")
+
+    def leftOuterJoin(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Left outer join: missing right values become ``None``."""
+        def expand(kv: tuple[Any, tuple[list[Any], list[Any]]]) -> Iterator[tuple[Any, tuple[Any, Any]]]:
+            key, (left_values, right_values) = kv
+            for left in left_values:
+                if right_values:
+                    for right in right_values:
+                        yield key, (left, right)
+                else:
+                    yield key, (left, None)
+
+        return self.cogroup(other, num_partitions).flatMap(
+            expand, name=f"{self.name}.leftOuterJoin"
+        )
+
+    def subtractByKey(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Keep pairs whose key does not appear in ``other``."""
+        def keep(kv: tuple[Any, tuple[list[Any], list[Any]]]) -> Iterator[tuple[Any, Any]]:
+            key, (left_values, right_values) = kv
+            if not right_values:
+                for left in left_values:
+                    yield key, left
+
+        return self.cogroup(other, num_partitions).flatMap(
+            keep, name=f"{self.name}.subtractByKey"
+        )
+
+    def sortBy(self, key_func: Callable[[Any], Any], ascending: bool = True) -> "RDD":
+        """Globally sort the RDD by ``key_func`` (single output partition)."""
+        return SortedRDD(self, key_func, ascending)
+
+    # ------------------------------------------------------------------ actions
+    def collect(self) -> list[Any]:
+        """Return all elements as a list."""
+        self.context.scheduler.start_job(f"collect({self.name})")
+        try:
+            return [element for partition in self.partitions() for element in partition]
+        finally:
+            self.context.scheduler.finish_job()
+
+    def collectAsMap(self) -> dict[Any, Any]:
+        """Collect a pair RDD into a dict (last value wins for duplicate keys)."""
+        return dict(self.collect())
+
+    def count(self) -> int:
+        """Return the number of elements."""
+        self.context.scheduler.start_job(f"count({self.name})")
+        try:
+            return sum(len(partition) for partition in self.partitions())
+        finally:
+            self.context.scheduler.finish_job()
+
+    def countByKey(self) -> dict[Any, int]:
+        """Count elements per key of a pair RDD."""
+        counts: dict[Any, int] = defaultdict(int)
+        for key, _value in self.collect():
+            counts[key] += 1
+        return dict(counts)
+
+    def countByValue(self) -> dict[Any, int]:
+        """Count occurrences of each distinct element."""
+        counts: dict[Any, int] = defaultdict(int)
+        for element in self.collect():
+            counts[element] += 1
+        return dict(counts)
+
+    def reduce(self, reducer: Callable[[Any, Any], Any]) -> Any:
+        """Fold all elements with ``reducer`` (raises on an empty RDD)."""
+        elements = self.collect()
+        if not elements:
+            raise EngineError("reduce() of an empty RDD")
+        result = elements[0]
+        for element in elements[1:]:
+            result = reducer(result, element)
+        return result
+
+    def fold(self, zero: Any, op: Callable[[Any, Any], Any]) -> Any:
+        """Fold all elements starting from ``zero``."""
+        result = zero
+        for element in self.collect():
+            result = op(result, element)
+        return result
+
+    def take(self, n: int) -> list[Any]:
+        """Return the first ``n`` elements (partition order)."""
+        taken: list[Any] = []
+        for partition in self.partitions():
+            for element in partition:
+                if len(taken) >= n:
+                    return taken
+                taken.append(element)
+        return taken
+
+    def first(self) -> Any:
+        """Return the first element (raises on an empty RDD)."""
+        elements = self.take(1)
+        if not elements:
+            raise EngineError("first() of an empty RDD")
+        return elements[0]
+
+    def top(self, n: int, key: Callable[[Any], Any] | None = None) -> list[Any]:
+        """Return the ``n`` largest elements."""
+        return sorted(self.collect(), key=key, reverse=True)[:n]
+
+    def sum(self) -> Any:
+        """Sum all elements."""
+        return sum(self.collect())
+
+    def isEmpty(self) -> bool:
+        """True if the RDD has no elements."""
+        return not self.take(1)
+
+    def foreach(self, func: Callable[[Any], None]) -> None:
+        """Apply ``func`` to every element for its side effects."""
+        for element in self.collect():
+            func(element)
+
+    def getNumPartitions(self) -> int:
+        """Number of partitions of this RDD."""
+        return self.num_partitions
+
+    def glom(self) -> list[list[Any]]:
+        """Return the materialised partitions (Spark's ``glom().collect()``)."""
+        return [list(partition) for partition in self.partitions()]
+
+    def __repr__(self) -> str:
+        return f"RDD({self.name}, partitions={self.num_partitions})"
+
+
+class ParallelCollectionRDD(RDD):
+    """An RDD created from a driver-side Python collection."""
+
+    def __init__(self, context: "EngineContext", data: Sequence[Any], num_partitions: int) -> None:
+        super().__init__(context, num_partitions, "parallelize")
+        self._data = list(data)
+
+    def _compute(self) -> list[list[Any]]:
+        partitions: list[list[Any]] = [[] for _ in range(self.num_partitions)]
+        total = len(self._data)
+        if total == 0:
+            return partitions
+        # Contiguous slicing, like Spark's parallelize.
+        base, extra = divmod(total, self.num_partitions)
+        start = 0
+        for index in range(self.num_partitions):
+            size = base + (1 if index < extra else 0)
+            partitions[index] = self._data[start : start + size]
+            start += size
+        return partitions
+
+
+class MappedPartitionsRDD(RDD):
+    """Narrow transformation: apply a function to each parent partition."""
+
+    def __init__(
+        self,
+        parent: RDD,
+        func: Callable[[int, Iterator[Any]], Iterable[Any]],
+        name: str,
+    ) -> None:
+        super().__init__(parent.context, parent.num_partitions, name)
+        self._parent = parent
+        self._func = func
+
+    def _compute(self) -> list[list[Any]]:
+        return [
+            list(self._func(index, iter(partition)))
+            for index, partition in enumerate(self._parent.partitions())
+        ]
+
+
+class UnionRDD(RDD):
+    """Concatenation of two RDDs; partition lists are concatenated."""
+
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(
+            left.context,
+            left.num_partitions + right.num_partitions,
+            f"union({left.name},{right.name})",
+        )
+        self._left = left
+        self._right = right
+
+    def _compute(self) -> list[list[Any]]:
+        return [list(p) for p in self._left.partitions()] + [
+            list(p) for p in self._right.partitions()
+        ]
+
+
+class ZipWithIndexRDD(RDD):
+    """Pairs every element with a global, stable index."""
+
+    def __init__(self, parent: RDD) -> None:
+        super().__init__(parent.context, parent.num_partitions, f"{parent.name}.zipWithIndex")
+        self._parent = parent
+
+    def _compute(self) -> list[list[Any]]:
+        result: list[list[Any]] = []
+        offset = 0
+        for partition in self._parent.partitions():
+            indexed = [(element, offset + i) for i, element in enumerate(partition)]
+            offset += len(partition)
+            result.append(indexed)
+        return result
+
+
+class RepartitionedRDD(RDD):
+    """Round-robin redistribution of elements across a new partition count."""
+
+    def __init__(self, parent: RDD, num_partitions: int) -> None:
+        super().__init__(parent.context, num_partitions, f"{parent.name}.repartition")
+        self._parent = parent
+
+    def _compute(self) -> list[list[Any]]:
+        partitions: list[list[Any]] = [[] for _ in range(self.num_partitions)]
+        index = 0
+        for partition in self._parent.partitions():
+            for element in partition:
+                partitions[index % self.num_partitions].append(element)
+                index += 1
+        return partitions
+
+
+class ShuffledRDD(RDD):
+    """Wide transformation: hash-shuffle a pair RDD, then post-process buckets."""
+
+    def __init__(
+        self,
+        parent: RDD,
+        partitioner: Partitioner,
+        post: Callable[[Sequence[tuple[Any, Any]]], list[Any]] | None,
+        map_side: Callable[[Sequence[tuple[Any, Any]]], list[tuple[Any, Any]]] | None = None,
+        name: str = "shuffled",
+    ) -> None:
+        super().__init__(parent.context, partitioner.num_partitions, name)
+        self._parent = parent
+        self._partitioner = partitioner
+        self._post = post
+        self._map_side = map_side
+
+    def _compute(self) -> list[list[Any]]:
+        parent_partitions = self._parent.partitions()
+        if self._map_side is not None:
+            parent_partitions = [self._map_side(p) for p in parent_partitions]
+        buckets, shuffled = shuffle_partitions(parent_partitions, self._partitioner)
+        stage = self.context.scheduler.new_stage(f"{self.name}.shuffle")
+        for index, bucket in enumerate(buckets):
+            self.context.scheduler.record_task(
+                stage,
+                index,
+                input_records=len(bucket),
+                shuffle_read_records=len(bucket),
+                shuffle_write_records=0,
+                output_records=len(bucket),
+            )
+        # Attribute the total shuffle write volume to the first task for job totals.
+        if stage.tasks:
+            stage.tasks[0].shuffle_write_records = shuffled
+        if self._post is None:
+            return [list(bucket) for bucket in buckets]
+        return [list(self._post(bucket)) for bucket in buckets]
+
+
+class CoGroupedRDD(RDD):
+    """Groups two pair RDDs by key into ``(key, (values_left, values_right))``."""
+
+    def __init__(self, left: RDD, right: RDD, num_partitions: int | None) -> None:
+        partitions = num_partitions or max(left.num_partitions, right.num_partitions)
+        super().__init__(left.context, partitions, f"cogroup({left.name},{right.name})")
+        self._left = left
+        self._right = right
+        self._partitioner = HashPartitioner(partitions)
+
+    def _compute(self) -> list[list[Any]]:
+        left_buckets, left_shuffled = shuffle_partitions(
+            self._left.partitions(), self._partitioner
+        )
+        right_buckets, right_shuffled = shuffle_partitions(
+            self._right.partitions(), self._partitioner
+        )
+        stage = self.context.scheduler.new_stage(f"{self.name}.shuffle")
+        result: list[list[Any]] = []
+        for index in range(self.num_partitions):
+            grouped: dict[Any, tuple[list[Any], list[Any]]] = defaultdict(lambda: ([], []))
+            for key, value in left_buckets[index]:
+                grouped[key][0].append(value)
+            for key, value in right_buckets[index]:
+                grouped[key][1].append(value)
+            partition = [(key, (values[0], values[1])) for key, values in grouped.items()]
+            result.append(partition)
+            self.context.scheduler.record_task(
+                stage,
+                index,
+                input_records=len(left_buckets[index]) + len(right_buckets[index]),
+                shuffle_read_records=len(left_buckets[index]) + len(right_buckets[index]),
+                output_records=len(partition),
+            )
+        if stage.tasks:
+            stage.tasks[0].shuffle_write_records = left_shuffled + right_shuffled
+        return result
+
+
+class SortedRDD(RDD):
+    """Globally sorted view of the parent, materialised as one partition."""
+
+    def __init__(self, parent: RDD, key_func: Callable[[Any], Any], ascending: bool) -> None:
+        super().__init__(parent.context, 1, f"{parent.name}.sortBy")
+        self._parent = parent
+        self._key_func = key_func
+        self._ascending = ascending
+
+    def _compute(self) -> list[list[Any]]:
+        elements = [e for partition in self._parent.partitions() for e in partition]
+        elements.sort(key=self._key_func, reverse=not self._ascending)
+        return [elements]

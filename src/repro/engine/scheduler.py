@@ -1,0 +1,85 @@
+"""Stage/task bookkeeping for the engine.
+
+The scheduler does not decide *where* tasks run (everything executes in the
+driver process); it records *what* ran: one :class:`StageMetrics` per
+materialised RDD, one :class:`TaskMetrics` per partition, grouped into
+:class:`JobMetrics` per action.  This is the information the scalability
+benchmarks report.
+"""
+
+from __future__ import annotations
+
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
+
+
+class Scheduler:
+    """Records stages, tasks and jobs executed by an :class:`EngineContext`."""
+
+    def __init__(self) -> None:
+        self._next_stage_id = 0
+        self._next_job_id = 0
+        self.jobs: list[JobMetrics] = []
+        self.stages: list[StageMetrics] = []
+        self._current_job: JobMetrics | None = None
+
+    # -- jobs ---------------------------------------------------------------
+    def start_job(self, description: str) -> JobMetrics:
+        """Open a job; stages recorded until :meth:`finish_job` belong to it."""
+        job = JobMetrics(job_id=self._next_job_id, description=description)
+        self._next_job_id += 1
+        self._current_job = job
+        self.jobs.append(job)
+        return job
+
+    def finish_job(self) -> None:
+        """Close the currently open job."""
+        self._current_job = None
+
+    # -- stages -------------------------------------------------------------
+    def new_stage(self, description: str) -> StageMetrics:
+        """Create a new stage and attach it to the open job (if any)."""
+        stage = StageMetrics(stage_id=self._next_stage_id, description=description)
+        self._next_stage_id += 1
+        self.stages.append(stage)
+        if self._current_job is not None:
+            self._current_job.stages.append(stage)
+        return stage
+
+    def record_task(
+        self,
+        stage: StageMetrics,
+        partition_index: int,
+        *,
+        input_records: int = 0,
+        output_records: int = 0,
+        shuffle_read_records: int = 0,
+        shuffle_write_records: int = 0,
+        elapsed_seconds: float = 0.0,
+    ) -> TaskMetrics:
+        """Append a task record to ``stage``."""
+        task = TaskMetrics(
+            stage_id=stage.stage_id,
+            partition_index=partition_index,
+            input_records=input_records,
+            output_records=output_records,
+            shuffle_read_records=shuffle_read_records,
+            shuffle_write_records=shuffle_write_records,
+            elapsed_seconds=elapsed_seconds,
+        )
+        stage.tasks.append(task)
+        return task
+
+    # -- summaries ----------------------------------------------------------
+    @property
+    def total_tasks(self) -> int:
+        return sum(stage.num_tasks for stage in self.stages)
+
+    @property
+    def total_shuffle_records(self) -> int:
+        return sum(stage.total_shuffle_write for stage in self.stages)
+
+    def reset(self) -> None:
+        """Forget all recorded jobs and stages (keeps id counters monotonic)."""
+        self.jobs.clear()
+        self.stages.clear()
+        self._current_job = None

@@ -1,0 +1,71 @@
+"""Shuffle machinery: redistribute key/value records across partitions.
+
+A shuffle takes the materialised partitions of a parent pair-RDD, optionally
+applies a map-side combiner (as Spark does for ``reduceByKey``), then buckets
+every record by the target partitioner.  The number of records written to the
+shuffle is recorded so benchmarks can report communication volume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.engine.partitioner import Partitioner
+
+
+def map_side_combine(
+    partition: Sequence[tuple[Any, Any]],
+    create_combiner: Callable[[Any], Any],
+    merge_value: Callable[[Any, Any], Any],
+) -> list[tuple[Any, Any]]:
+    """Pre-aggregate a partition before the shuffle (Spark's map-side combine)."""
+    combined: dict[Any, Any] = {}
+    for key, value in partition:
+        if key in combined:
+            combined[key] = merge_value(combined[key], value)
+        else:
+            combined[key] = create_combiner(value)
+    return list(combined.items())
+
+
+def shuffle_partitions(
+    parent_partitions: Sequence[Sequence[tuple[Any, Any]]],
+    partitioner: Partitioner,
+) -> tuple[list[list[tuple[Any, Any]]], int]:
+    """Redistribute ``(key, value)`` records according to ``partitioner``.
+
+    Returns the new partition list and the number of shuffled records.
+    """
+    buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(partitioner.num_partitions)]
+    shuffled = 0
+    for partition in parent_partitions:
+        for key, value in partition:
+            buckets[partitioner.partition(key)].append((key, value))
+            shuffled += 1
+    return buckets, shuffled
+
+
+def group_by_key_partition(
+    partition: Sequence[tuple[Any, Any]],
+) -> list[tuple[Any, list[Any]]]:
+    """Group the values of each key within a single (already shuffled) partition."""
+    grouped: dict[Any, list[Any]] = defaultdict(list)
+    for key, value in partition:
+        grouped[key].append(value)
+    return list(grouped.items())
+
+
+def reduce_by_key_partition(
+    partition: Sequence[tuple[Any, Any]],
+    reducer: Callable[[Any, Any], Any],
+) -> list[tuple[Any, Any]]:
+    """Reduce the values of each key within a single (already shuffled) partition."""
+    reduced: dict[Any, Any] = {}
+    for key, value in partition:
+        if key in reduced:
+            reduced[key] = reducer(reduced[key], value)
+        else:
+            reduced[key] = value
+    return list(reduced.items())

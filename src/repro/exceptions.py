@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SparkER reproduction.
+
+All library-specific errors derive from :class:`SparkERError` so callers can
+catch a single base class at the pipeline boundary.
+"""
+
+
+class SparkERError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(SparkERError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class DataError(SparkERError):
+    """Input data could not be parsed or violates the data-model contract."""
+
+
+class EngineError(SparkERError):
+    """The mini dataflow engine was used incorrectly (e.g. bad partitioning)."""
+
+
+class BlockingError(SparkERError):
+    """A blocking stage received invalid input or produced an invalid state."""
+
+
+class MetaBlockingError(SparkERError):
+    """Meta-blocking failed (unknown weighting scheme, bad graph, ...)."""
+
+
+class MatchingError(SparkERError):
+    """Entity matching failed (unknown similarity function, untrained model)."""
+
+
+class ClusteringError(SparkERError):
+    """Entity clustering failed (unknown algorithm, inconsistent graph)."""
+
+
+class EvaluationError(SparkERError):
+    """Evaluation was requested without the required ground truth."""

@@ -1,0 +1,18 @@
+"""Loose-schema generator: LSH attribute partitioning + cluster entropy (BLAST)."""
+
+from repro.looseschema.lsh import AttributeLSH, AttributeProfile, build_attribute_profiles
+from repro.looseschema.attribute_partitioning import (
+    AttributePartitioner,
+    AttributePartitioning,
+)
+from repro.looseschema.entropy import EntropyExtractor, shannon_entropy
+
+__all__ = [
+    "AttributeLSH",
+    "AttributeProfile",
+    "build_attribute_profiles",
+    "AttributePartitioner",
+    "AttributePartitioning",
+    "EntropyExtractor",
+    "shannon_entropy",
+]

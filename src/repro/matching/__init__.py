@@ -1,0 +1,51 @@
+"""Entity matching: similarity functions, matchers and the similarity graph."""
+
+from repro.matching.similarity import (
+    jaccard_similarity,
+    dice_similarity,
+    overlap_coefficient,
+    cosine_similarity_tokens,
+    tfidf_cosine_similarity,
+    edit_distance,
+    levenshtein_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    qgram_similarity,
+    numeric_similarity,
+    SIMILARITY_FUNCTIONS,
+    get_similarity_function,
+)
+from repro.matching.features import PairFeatureExtractor
+from repro.matching.matcher import (
+    Matcher,
+    ThresholdMatcher,
+    RuleBasedMatcher,
+    MatchingRule,
+)
+from repro.matching.classifier import LogisticRegressionMatcher, NaiveBayesMatcher
+from repro.matching.similarity_graph import SimilarityEdge, SimilarityGraph
+
+__all__ = [
+    "jaccard_similarity",
+    "dice_similarity",
+    "overlap_coefficient",
+    "cosine_similarity_tokens",
+    "tfidf_cosine_similarity",
+    "edit_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "qgram_similarity",
+    "numeric_similarity",
+    "SIMILARITY_FUNCTIONS",
+    "get_similarity_function",
+    "PairFeatureExtractor",
+    "Matcher",
+    "ThresholdMatcher",
+    "RuleBasedMatcher",
+    "MatchingRule",
+    "LogisticRegressionMatcher",
+    "NaiveBayesMatcher",
+    "SimilarityEdge",
+    "SimilarityGraph",
+]

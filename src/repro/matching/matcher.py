@@ -1,0 +1,126 @@
+"""Unsupervised matchers: threshold and rule based.
+
+The entity matcher receives candidate pairs from the blocker and labels each
+as match / non-match, producing the similarity graph.  Any matcher can be
+plugged in (the demo shows Magellan); this module implements the unsupervised
+ones, :mod:`repro.matching.classifier` the supervised ones.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.data.dataset import ProfileCollection
+from repro.data.profile import EntityProfile
+from repro.exceptions import MatchingError
+from repro.matching.similarity import get_similarity_function
+from repro.matching.similarity_graph import SimilarityGraph
+
+
+class Matcher(ABC):
+    """A matcher scores candidate pairs and keeps those deemed matches."""
+
+    @abstractmethod
+    def score(self, left: EntityProfile, right: EntityProfile) -> float:
+        """Similarity score of one pair in [0, 1]."""
+
+    @abstractmethod
+    def is_match(self, left: EntityProfile, right: EntityProfile) -> bool:
+        """Decide whether a pair is a match."""
+
+    def match(
+        self,
+        profiles: ProfileCollection,
+        candidate_pairs: Sequence[tuple[int, int]],
+    ) -> SimilarityGraph:
+        """Score every candidate pair and return the graph of matches."""
+        graph = SimilarityGraph()
+        for a, b in candidate_pairs:
+            left, right = profiles[a], profiles[b]
+            if self.is_match(left, right):
+                graph.add(a, b, self.score(left, right))
+        return graph
+
+    def __call__(
+        self,
+        profiles: ProfileCollection,
+        candidate_pairs: Sequence[tuple[int, int]],
+    ) -> SimilarityGraph:
+        return self.match(profiles, candidate_pairs)
+
+
+class ThresholdMatcher(Matcher):
+    """Match when a single similarity of the whole-profile text exceeds a threshold.
+
+    Parameters
+    ----------
+    similarity:
+        Name of the similarity function (see
+        :data:`repro.matching.similarity.SIMILARITY_FUNCTIONS`).
+    threshold:
+        Minimum score for a pair to be a match.
+    """
+
+    def __init__(self, similarity: str = "jaccard", threshold: float = 0.5) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise MatchingError("threshold must be in [0, 1]")
+        self.similarity_name = similarity
+        self.similarity = get_similarity_function(similarity)
+        self.threshold = threshold
+
+    def score(self, left: EntityProfile, right: EntityProfile) -> float:
+        return self.similarity(left.text(), right.text())
+
+    def is_match(self, left: EntityProfile, right: EntityProfile) -> bool:
+        return self.score(left, right) >= self.threshold
+
+
+@dataclass
+class MatchingRule:
+    """One conjunct of a rule-based matcher.
+
+    ``attribute_left`` / ``attribute_right`` select which attribute of each
+    profile to compare (``None`` compares the whole profile text); the rule is
+    satisfied when ``similarity(value_left, value_right) >= threshold``.
+    """
+
+    similarity: str
+    threshold: float
+    attribute_left: str | None = None
+    attribute_right: str | None = None
+
+    def evaluate(self, left: EntityProfile, right: EntityProfile) -> tuple[bool, float]:
+        """Return (satisfied, score) for one pair."""
+        function = get_similarity_function(self.similarity)
+        text_left = (
+            left.text() if self.attribute_left is None else left.value_of(self.attribute_left)
+        )
+        text_right = (
+            right.text()
+            if self.attribute_right is None
+            else right.value_of(self.attribute_right)
+        )
+        score = function(text_left, text_right)
+        return score >= self.threshold, score
+
+
+class RuleBasedMatcher(Matcher):
+    """Match when every rule of a conjunction is satisfied.
+
+    The pair's score is the mean of the rule scores, so the similarity graph
+    still carries a graded value for the clusterer.
+    """
+
+    def __init__(self, rules: Sequence[MatchingRule]) -> None:
+        if not rules:
+            raise MatchingError("RuleBasedMatcher needs at least one rule")
+        self.rules = list(rules)
+
+    def score(self, left: EntityProfile, right: EntityProfile) -> float:
+        scores = [rule.evaluate(left, right)[1] for rule in self.rules]
+        return sum(scores) / len(scores)
+
+    def is_match(self, left: EntityProfile, right: EntityProfile) -> bool:
+        return all(rule.evaluate(left, right)[0] for rule in self.rules)

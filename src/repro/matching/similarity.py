@@ -1,0 +1,241 @@
+"""Similarity and distance functions for entity matching.
+
+The demo lets the user pick among "a wide range of similarity (or distance)
+scores, e.g. Jaccard similarity, Edit Distance, CSA"; this module provides the
+token-based, character-based and numeric measures the matcher exposes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Callable, Iterable
+
+from repro.exceptions import MatchingError
+from repro.utils.tokenize import character_ngrams, token_set
+from repro.utils.text import normalize_text
+
+# --------------------------------------------------------------------------
+# token-set measures
+# --------------------------------------------------------------------------
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of the token sets of two strings."""
+    tokens_a, tokens_b = token_set(a), token_set(b)
+    if not tokens_a and not tokens_b:
+        return 0.0
+    union = tokens_a | tokens_b
+    return len(tokens_a & tokens_b) / len(union) if union else 0.0
+
+
+def dice_similarity(a: str, b: str) -> float:
+    """Sørensen–Dice coefficient of the token sets of two strings."""
+    tokens_a, tokens_b = token_set(a), token_set(b)
+    total = len(tokens_a) + len(tokens_b)
+    if total == 0:
+        return 0.0
+    return 2 * len(tokens_a & tokens_b) / total
+
+
+def overlap_coefficient(a: str, b: str) -> float:
+    """Overlap coefficient (intersection / smaller set size)."""
+    tokens_a, tokens_b = token_set(a), token_set(b)
+    smaller = min(len(tokens_a), len(tokens_b))
+    if smaller == 0:
+        return 0.0
+    return len(tokens_a & tokens_b) / smaller
+
+
+def cosine_similarity_tokens(a: str, b: str) -> float:
+    """Cosine similarity of the token frequency vectors of two strings."""
+    counts_a = Counter(normalize_text(a).split())
+    counts_b = Counter(normalize_text(b).split())
+    counts_a.pop("", None)
+    counts_b.pop("", None)
+    if not counts_a or not counts_b:
+        return 0.0
+    dot = sum(counts_a[t] * counts_b.get(t, 0) for t in counts_a)
+    norm_a = math.sqrt(sum(c * c for c in counts_a.values()))
+    norm_b = math.sqrt(sum(c * c for c in counts_b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def tfidf_cosine_similarity(
+    a: str, b: str, document_frequencies: dict[str, int] | None = None, num_documents: int = 1
+) -> float:
+    """TF-IDF weighted cosine similarity.
+
+    When no corpus statistics are supplied every token gets IDF 1 and the
+    measure degenerates to plain cosine similarity.
+    """
+    counts_a = Counter(normalize_text(a).split())
+    counts_b = Counter(normalize_text(b).split())
+    counts_a.pop("", None)
+    counts_b.pop("", None)
+    if not counts_a or not counts_b:
+        return 0.0
+
+    def idf(token: str) -> float:
+        if not document_frequencies:
+            return 1.0
+        df = document_frequencies.get(token, 0)
+        return math.log((1 + num_documents) / (1 + df)) + 1.0
+
+    vector_a = {t: c * idf(t) for t, c in counts_a.items()}
+    vector_b = {t: c * idf(t) for t, c in counts_b.items()}
+    dot = sum(vector_a[t] * vector_b.get(t, 0.0) for t in vector_a)
+    norm_a = math.sqrt(sum(v * v for v in vector_a.values()))
+    norm_b = math.sqrt(sum(v * v for v in vector_b.values()))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+# --------------------------------------------------------------------------
+# character-based measures
+# --------------------------------------------------------------------------
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein edit distance between two raw strings."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised to a similarity in [0, 1]."""
+    a_norm, b_norm = normalize_text(a), normalize_text(b)
+    longest = max(len(a_norm), len(b_norm))
+    if longest == 0:
+        return 0.0
+    return 1.0 - edit_distance(a_norm, b_norm) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity of two strings."""
+    a, b = normalize_text(a), normalize_text(b)
+    if not a or not b:
+        return 0.0
+    if a == b:
+        return 1.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    matches_a = [False] * len(a)
+    matches_b = [False] * len(b)
+    matches = 0
+    for i, char_a in enumerate(a):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(b))
+        for j in range(start, end):
+            if matches_b[j] or b[j] != char_a:
+                continue
+            matches_a[i] = matches_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(matches_a):
+        if not matched:
+            continue
+        while not matches_b[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro–Winkler similarity (prefix bonus up to 4 characters)."""
+    jaro = jaro_similarity(a, b)
+    a_norm, b_norm = normalize_text(a), normalize_text(b)
+    prefix = 0
+    for char_a, char_b in zip(a_norm, b_norm):
+        if char_a != char_b or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def qgram_similarity(a: str, b: str, q: int = 3) -> float:
+    """Jaccard similarity of the character q-gram sets of two strings."""
+    grams_a = set(character_ngrams(a, q, pad=True))
+    grams_b = set(character_ngrams(b, q, pad=True))
+    union = grams_a | grams_b
+    if not union:
+        return 0.0
+    return len(grams_a & grams_b) / len(union)
+
+
+# --------------------------------------------------------------------------
+# numeric measure
+# --------------------------------------------------------------------------
+def numeric_similarity(a: str, b: str) -> float:
+    """Similarity of two numeric strings: ``1 - |x-y| / max(|x|, |y|)``.
+
+    Non-numeric inputs yield 0.
+    """
+    try:
+        x = float(str(a).replace(",", "").strip())
+        y = float(str(b).replace(",", "").strip())
+    except (TypeError, ValueError):
+        return 0.0
+    denominator = max(abs(x), abs(y))
+    if denominator == 0:
+        return 1.0
+    return max(0.0, 1.0 - abs(x - y) / denominator)
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+SIMILARITY_FUNCTIONS: dict[str, Callable[[str, str], float]] = {
+    "jaccard": jaccard_similarity,
+    "dice": dice_similarity,
+    "overlap": overlap_coefficient,
+    "cosine": cosine_similarity_tokens,
+    "tfidf_cosine": tfidf_cosine_similarity,
+    "levenshtein": levenshtein_similarity,
+    "jaro": jaro_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+    "qgram": qgram_similarity,
+    "numeric": numeric_similarity,
+}
+
+
+def get_similarity_function(name: str) -> Callable[[str, str], float]:
+    """Look up a similarity function by name (raises MatchingError if unknown)."""
+    try:
+        return SIMILARITY_FUNCTIONS[name.lower()]
+    except KeyError as exc:
+        valid = ", ".join(sorted(SIMILARITY_FUNCTIONS))
+        raise MatchingError(
+            f"unknown similarity function {name!r}; valid functions: {valid}"
+        ) from exc
+
+
+def document_frequencies(texts: Iterable[str]) -> tuple[dict[str, int], int]:
+    """Corpus token document frequencies for :func:`tfidf_cosine_similarity`."""
+    frequencies: dict[str, int] = {}
+    count = 0
+    for text in texts:
+        count += 1
+        for token in token_set(text):
+            frequencies[token] = frequencies.get(token, 0) + 1
+    return frequencies, count

@@ -1,0 +1,80 @@
+"""The similarity graph produced by the entity matcher.
+
+Nodes are profiles, edges are matched pairs annotated with the similarity
+score that the matcher assigned.  The entity clusterer consumes this graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.data.ground_truth import canonical_pair
+
+
+@dataclass(frozen=True)
+class SimilarityEdge:
+    """One matched pair with its similarity score."""
+
+    profile_a: int
+    profile_b: int
+    score: float
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The canonical (ordered) pair of the edge."""
+        return canonical_pair(self.profile_a, self.profile_b)
+
+
+class SimilarityGraph:
+    """The weighted match graph handed from the matcher to the clusterer."""
+
+    def __init__(self, edges: Iterable[SimilarityEdge] = ()) -> None:
+        self._edges: dict[tuple[int, int], SimilarityEdge] = {}
+        for edge in edges:
+            self.add_edge(edge)
+
+    def add_edge(self, edge: SimilarityEdge) -> None:
+        """Add (or overwrite with a higher score) one edge."""
+        existing = self._edges.get(edge.pair)
+        if existing is None or edge.score > existing.score:
+            self._edges[edge.pair] = edge
+
+    def add(self, a: int, b: int, score: float) -> None:
+        """Convenience wrapper around :meth:`add_edge`."""
+        self.add_edge(SimilarityEdge(a, b, score))
+
+    def __contains__(self, pair: tuple[int, int]) -> bool:
+        return canonical_pair(*pair) in self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[SimilarityEdge]:
+        return iter(self._edges.values())
+
+    def pairs(self) -> set[tuple[int, int]]:
+        """The set of matched pairs."""
+        return set(self._edges)
+
+    def score_of(self, a: int, b: int) -> float | None:
+        """Score of pair (a, b), or None if not matched."""
+        edge = self._edges.get(canonical_pair(a, b))
+        return edge.score if edge else None
+
+    def nodes(self) -> set[int]:
+        """All profile ids with at least one matched edge."""
+        nodes: set[int] = set()
+        for a, b in self._edges:
+            nodes.add(a)
+            nodes.add(b)
+        return nodes
+
+    def edges_above(self, threshold: float) -> "SimilarityGraph":
+        """A new graph keeping only edges with score >= threshold."""
+        return SimilarityGraph(
+            edge for edge in self._edges.values() if edge.score >= threshold
+        )
+
+    def __repr__(self) -> str:
+        return f"SimilarityGraph(nodes={len(self.nodes())}, edges={len(self)})"

@@ -1,0 +1,31 @@
+"""BLAST entropy re-weighting of the blocking graph.
+
+Each edge of the meta-blocking graph is re-weighted according to the entropy
+associated with the blocks that generated it (the entropy of the attribute
+partition the blocking key belongs to).  Edges generated inside high-entropy
+clusters keep most of their weight; edges generated inside low-entropy
+clusters (e.g. prices, years) are damped, so the subsequent pruning removes
+more superfluous comparisons than plain schema-agnostic meta-blocking
+(Figure 2(c) of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.metablocking.graph import BlockingGraph
+
+
+def apply_entropy_weights(
+    graph: BlockingGraph,
+    weights: dict[tuple[int, int], float],
+) -> dict[tuple[int, int], float]:
+    """Multiply each edge weight by the mean entropy of its shared blocks.
+
+    Edges whose blocks carry the default entropy of 1.0 are unchanged, so
+    applying this to a schema-agnostic collection is a no-op.
+    """
+    reweighted: dict[tuple[int, int], float] = {}
+    for pair, weight in weights.items():
+        info = graph.edges.get(pair)
+        factor = info.mean_entropy if info is not None else 1.0
+        reweighted[pair] = weight * factor
+    return reweighted

@@ -1,0 +1,115 @@
+"""The blocking graph.
+
+Profiles are nodes; an (undirected) edge connects two profiles that co-occur
+in at least one block.  Every edge carries the aggregate information required
+by the different weighting schemes:
+
+* ``common_blocks`` — number of blocks shared by the two profiles (CBS),
+* ``arcs`` — sum over shared blocks of ``1 / ||b||`` where ``||b||`` is the
+  block's comparison cardinality (ARCS),
+* ``entropy_sum`` — sum of the entropies of the shared blocks, used by the
+  BLAST entropy re-weighting (the average shared-block entropy multiplies the
+  base weight).
+
+Node-level statistics (how many blocks each profile appears in, total block
+count) are kept on the graph because JS / ECBS / EJS need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blocking.block import BlockCollection
+from repro.data.ground_truth import canonical_pair
+
+
+@dataclass
+class EdgeInfo:
+    """Aggregate co-occurrence information of one blocking-graph edge."""
+
+    common_blocks: int = 0
+    arcs: float = 0.0
+    entropy_sum: float = 0.0
+
+    @property
+    def mean_entropy(self) -> float:
+        """Average entropy of the blocks shared by the edge's endpoints."""
+        if self.common_blocks == 0:
+            return 0.0
+        return self.entropy_sum / self.common_blocks
+
+
+@dataclass
+class BlockingGraph:
+    """The meta-blocking graph of a block collection."""
+
+    edges: dict[tuple[int, int], EdgeInfo] = field(default_factory=dict)
+    blocks_per_profile: dict[int, int] = field(default_factory=dict)
+    num_blocks: int = 0
+    clean_clean: bool = False
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.blocks_per_profile)
+
+    def nodes(self) -> set[int]:
+        """All profile ids that appear in at least one block."""
+        return set(self.blocks_per_profile)
+
+    def neighbors(self, profile_id: int) -> dict[int, EdgeInfo]:
+        """Return neighbour → edge info of ``profile_id`` (materialised lazily)."""
+        result: dict[int, EdgeInfo] = {}
+        for (a, b), info in self.edges.items():
+            if a == profile_id:
+                result[b] = info
+            elif b == profile_id:
+                result[a] = info
+        return result
+
+    def edge(self, a: int, b: int) -> EdgeInfo | None:
+        """Return the edge info of pair (a, b), or None if not adjacent."""
+        return self.edges.get(canonical_pair(a, b))
+
+    def adjacency(self) -> dict[int, list[tuple[int, EdgeInfo]]]:
+        """Full adjacency list (neighbour lists for every node)."""
+        adjacency: dict[int, list[tuple[int, EdgeInfo]]] = {
+            node: [] for node in self.blocks_per_profile
+        }
+        for (a, b), info in self.edges.items():
+            adjacency.setdefault(a, []).append((b, info))
+            adjacency.setdefault(b, []).append((a, info))
+        return adjacency
+
+
+def build_blocking_graph(blocks: BlockCollection) -> BlockingGraph:
+    """Materialise the blocking graph of ``blocks``.
+
+    Every comparison of every block contributes to the edge of its pair; the
+    contribution records the block's comparison cardinality (for ARCS) and its
+    entropy (for BLAST).
+    """
+    graph = BlockingGraph(clean_clean=blocks.clean_clean, num_blocks=len(blocks))
+
+    for block in blocks:
+        cardinality = block.num_comparisons()
+        if cardinality == 0:
+            continue
+        for profile_id in block.all_profiles():
+            graph.blocks_per_profile[profile_id] = (
+                graph.blocks_per_profile.get(profile_id, 0) + 1
+            )
+        for a, b in block.comparisons():
+            key = canonical_pair(a, b)
+            info = graph.edges.get(key)
+            if info is None:
+                info = EdgeInfo()
+                graph.edges[key] = info
+            info.common_blocks += 1
+            info.arcs += 1.0 / cardinality
+            info.entropy_sum += block.entropy
+
+    return graph

@@ -1,0 +1,5 @@
+"""Debug sampling for the supervised (process-debugging) mode."""
+
+from repro.sampling.debug_sampler import DebugSampler, DebugSample
+
+__all__ = ["DebugSampler", "DebugSample"]

@@ -1,0 +1,115 @@
+"""The process-debugging sampler (Section 3 of the paper).
+
+Iterating configurations on the full input would be too slow, so the demo
+samples the data following the strategy of Magellan: pick K random seed
+profiles, then for each seed pick k/2 profiles that *could* be a match (share
+many tokens with the seed) and k/2 random profiles.  K and k are user
+parameters trading sample size for fidelity.
+
+The sample keeps the two sources of a clean-clean task: likely matches for a
+seed are drawn from the *other* source, so the sample still contains both
+matching and non-matching cross-source pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.dataset import ProfileCollection
+from repro.data.ground_truth import GroundTruth
+from repro.exceptions import DataError
+
+
+@dataclass
+class DebugSample:
+    """The sampled profiles plus the restriction of the ground truth to them."""
+
+    profiles: ProfileCollection
+    ground_truth: GroundTruth
+    seed_ids: list[int]
+
+    def summary(self) -> dict[str, int]:
+        """Size summary of the sample."""
+        return {
+            "profiles": len(self.profiles),
+            "seeds": len(self.seed_ids),
+            "matches_in_sample": len(self.ground_truth),
+        }
+
+
+class DebugSampler:
+    """Samples a representative subset for interactive configuration tuning.
+
+    Parameters
+    ----------
+    num_seeds:
+        K — number of random seed profiles.
+    per_seed:
+        k — profiles added per seed (k/2 likely matches + k/2 random).
+    seed:
+        Random seed for reproducibility.
+    """
+
+    def __init__(self, num_seeds: int = 20, per_seed: int = 10, seed: int = 23) -> None:
+        if num_seeds <= 0 or per_seed <= 0:
+            raise DataError("num_seeds and per_seed must be positive")
+        self.num_seeds = num_seeds
+        self.per_seed = per_seed
+        self.seed = seed
+
+    def sample(
+        self,
+        profiles: ProfileCollection,
+        ground_truth: GroundTruth | None = None,
+    ) -> DebugSample:
+        """Draw the debug sample from ``profiles``.
+
+        When a ground truth is given it is restricted to the sampled profiles
+        so the debug session can still report recall / precision.
+        """
+        rng = random.Random(self.seed)
+        all_profiles = list(profiles)
+        if not all_profiles:
+            raise DataError("cannot sample an empty profile collection")
+
+        token_index = {p.profile_id: p.tokens(remove_stopwords=True) for p in all_profiles}
+        by_source: dict[int, list[int]] = {}
+        for profile in all_profiles:
+            by_source.setdefault(profile.source_id, []).append(profile.profile_id)
+
+        num_seeds = min(self.num_seeds, len(all_profiles))
+        seed_ids = rng.sample([p.profile_id for p in all_profiles], num_seeds)
+        selected: set[int] = set(seed_ids)
+
+        half = max(1, self.per_seed // 2)
+        for seed_id in seed_ids:
+            seed_profile = profiles[seed_id]
+            seed_tokens = token_index[seed_id]
+            # Candidate pool: other source when clean-clean, everyone otherwise.
+            if profiles.is_clean_clean:
+                other_source = 1 - seed_profile.source_id
+                pool = by_source.get(other_source, [])
+            else:
+                pool = [pid for pid in token_index if pid != seed_id]
+
+            # k/2 likely matches: profiles sharing the most tokens with the seed.
+            overlaps = sorted(
+                pool,
+                key=lambda pid: (-len(seed_tokens & token_index[pid]), pid),
+            )
+            selected.update(overlaps[:half])
+
+            # k/2 random profiles from the same pool.
+            if pool:
+                selected.update(rng.sample(pool, min(half, len(pool))))
+
+        sampled_profiles = profiles.subset(selected)
+        sampled_truth = (
+            ground_truth.restricted_to(selected) if ground_truth is not None else GroundTruth()
+        )
+        return DebugSample(
+            profiles=sampled_profiles,
+            ground_truth=sampled_truth,
+            seed_ids=sorted(seed_ids),
+        )

@@ -1,0 +1,30 @@
+"""Logging configuration for the SparkER reproduction.
+
+The library never configures the root logger; applications opt in via
+:func:`configure_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger of the package logger."""
+    if name:
+        return logging.getLogger(f"{LOGGER_NAME}.{name}")
+    return logging.getLogger(LOGGER_NAME)
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stream handler to the package logger (idempotent)."""
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

@@ -1,0 +1,58 @@
+"""Text normalisation helpers shared by blocking and matching.
+
+All blocking keys and similarity computations in the SparkER pipeline operate
+on normalised text: lower-cased, punctuation stripped, whitespace collapsed.
+Keeping the normalisation in one module guarantees that the blocker and the
+matcher see the same token universe.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+
+# A small English stop-word list.  Schema-agnostic token blocking on product
+# and bibliographic data generates huge blocks for these words; block purging
+# removes most of them anyway, but dropping them at tokenization time keeps
+# the toy examples readable and mirrors common ER practice.
+STOPWORDS: frozenset[str] = frozenset(
+    {
+        "a", "an", "and", "are", "as", "at", "be", "by", "for", "from",
+        "has", "he", "in", "is", "it", "its", "of", "on", "or", "that",
+        "the", "to", "was", "were", "will", "with",
+    }
+)
+
+_PUNCTUATION_RE = re.compile(r"[^\w\s]", re.UNICODE)
+_WHITESPACE_RE = re.compile(r"\s+")
+
+
+def strip_accents(text: str) -> str:
+    """Return ``text`` with combining accent marks removed."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def strip_punctuation(text: str) -> str:
+    """Replace every punctuation character in ``text`` with a space."""
+    return _PUNCTUATION_RE.sub(" ", text)
+
+
+def normalize_text(text: str) -> str:
+    """Normalise ``text`` for blocking and similarity computation.
+
+    The normalisation lower-cases, removes accents, replaces punctuation with
+    spaces and collapses runs of whitespace.  It is idempotent.
+    """
+    if not text:
+        return ""
+    lowered = strip_accents(str(text)).lower()
+    cleaned = strip_punctuation(lowered)
+    return _WHITESPACE_RE.sub(" ", cleaned).strip()
+
+
+def is_numeric_token(token: str) -> bool:
+    """Return True if ``token`` looks like a plain number (int or decimal)."""
+    if not token:
+        return False
+    return re.fullmatch(r"\d+(\.\d+)?", token) is not None

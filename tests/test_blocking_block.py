@@ -1,0 +1,92 @@
+"""Tests of Block and BlockCollection."""
+
+import pytest
+
+from repro.blocking.block import Block, BlockCollection
+from repro.exceptions import BlockingError
+
+
+class TestBlock:
+    def test_clean_clean_comparisons(self):
+        block = Block(key="sony", profiles_source0={0, 1}, profiles_source1={5, 6})
+        assert block.num_comparisons() == 4
+        assert set(block.comparisons()) == {(0, 5), (0, 6), (1, 5), (1, 6)}
+
+    def test_dirty_comparisons(self):
+        block = Block(key="sony", profiles_source0={1, 2, 3})
+        assert block.num_comparisons() == 3
+        assert set(block.comparisons()) == {(1, 2), (1, 3), (2, 3)}
+
+    def test_clean_clean_flag_sticks_after_source_loss(self):
+        # A clean-clean block that lost every source-1 profile must not start
+        # generating within-source comparisons (the block filtering edge case).
+        block = Block(key="k", profiles_source0={0, 1}, clean_clean=True)
+        assert block.is_clean_clean
+        assert block.num_comparisons() == 0
+        assert not block.is_valid()
+
+    def test_size_and_all_profiles(self):
+        block = Block(key="k", profiles_source0={0}, profiles_source1={1, 2})
+        assert block.size == 3
+        assert block.all_profiles() == {0, 1, 2}
+
+    def test_contains_and_remove(self):
+        block = Block(key="k", profiles_source0={0}, profiles_source1={1})
+        assert block.contains(0)
+        block.remove(0)
+        assert not block.contains(0)
+
+    def test_singleton_invalid(self):
+        assert not Block(key="k", profiles_source0={1}).is_valid()
+
+    def test_default_entropy(self):
+        assert Block(key="k").entropy == 1.0
+
+
+class TestBlockCollection:
+    def _collection(self) -> BlockCollection:
+        return BlockCollection(
+            [
+                Block(key="a", profiles_source0={0, 1}, profiles_source1={5}),
+                Block(key="b", profiles_source0={1}, profiles_source1={5, 6}),
+            ],
+            clean_clean=True,
+        )
+
+    def test_len_and_getitem(self):
+        collection = self._collection()
+        assert len(collection) == 2
+        assert collection[0].key == "a"
+
+    def test_only_blocks_addable(self):
+        collection = BlockCollection()
+        with pytest.raises(BlockingError):
+            collection.add("not a block")  # type: ignore[arg-type]
+
+    def test_total_vs_distinct_comparisons(self):
+        collection = self._collection()
+        assert collection.total_comparisons() == 4
+        # (1, 5) appears in both blocks but is counted once in the distinct set.
+        assert collection.distinct_comparisons() == {(0, 5), (1, 5), (1, 6)}
+
+    def test_profile_index(self):
+        index = self._collection().profile_index()
+        assert index[1] == [0, 1]
+        assert index[0] == [0]
+
+    def test_profile_ids(self):
+        assert self._collection().profile_ids() == {0, 1, 5, 6}
+
+    def test_purge_invalid(self):
+        collection = BlockCollection(
+            [Block(key="ok", profiles_source0={1, 2}), Block(key="solo", profiles_source0={3})]
+        )
+        purged = collection.purge_invalid()
+        assert [b.key for b in purged] == ["ok"]
+
+    def test_sorted_by_size(self):
+        collection = self._collection()
+        keys = [b.key for b in collection.sorted_by_size()]
+        assert keys == ["a", "b"] or keys == ["b", "a"]
+        sizes = [b.num_comparisons() for b in collection.sorted_by_size()]
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,117 @@
+"""Tests of block purging and block filtering."""
+
+import pytest
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.filtering import BlockFiltering
+from repro.blocking.purging import BlockPurging
+from repro.blocking.token_blocking import TokenBlocking
+from repro.exceptions import BlockingError
+
+
+def _block(key: str, source0: set[int], source1: set[int]) -> Block:
+    return Block(key=key, profiles_source0=source0, profiles_source1=source1, clean_clean=True)
+
+
+class TestBlockPurging:
+    def test_oversized_block_removed(self):
+        # 10 profiles total; the "stopword" block contains 8 of them (> half).
+        blocks = BlockCollection(
+            [
+                _block("the", set(range(4)), set(range(5, 9))),
+                _block("sony", {0}, {5}),
+            ],
+            clean_clean=True,
+        )
+        purged = BlockPurging(max_profile_fraction=0.5).purge(blocks, num_profiles=10)
+        assert [b.key for b in purged] == ["sony"]
+
+    def test_fraction_one_keeps_everything(self):
+        blocks = BlockCollection([_block("a", {0, 1}, {2, 3})])
+        purged = BlockPurging(max_profile_fraction=1.0).purge(blocks, num_profiles=4)
+        assert len(purged) == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(BlockingError):
+            BlockPurging(max_profile_fraction=0.0)
+
+    def test_empty_collection(self):
+        purged = BlockPurging().purge(BlockCollection(clean_clean=True))
+        assert len(purged) == 0
+
+    def test_purging_never_loses_recall_on_synthetic(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        purged = BlockPurging().purge(blocks, len(abt_buy_small.profiles))
+        before = blocks.distinct_comparisons() & abt_buy_small.ground_truth.pairs()
+        after = purged.distinct_comparisons() & abt_buy_small.ground_truth.pairs()
+        assert len(after) >= 0.98 * len(before)
+
+    def test_comparison_based_purging_smaller_or_equal(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        plain = BlockPurging().purge(blocks, len(abt_buy_small.profiles))
+        aggressive = BlockPurging(smoothing=1.0).purge(blocks, len(abt_buy_small.profiles))
+        assert aggressive.total_comparisons() <= plain.total_comparisons()
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(BlockingError):
+            BlockPurging(smoothing=0.0)
+
+
+class TestBlockFiltering:
+    def test_profile_kept_in_smallest_blocks(self):
+        blocks = BlockCollection(
+            [
+                _block("big", {0, 1, 2}, {5, 6, 7}),
+                _block("small", {0}, {5}),
+            ],
+            clean_clean=True,
+        )
+        filtered = BlockFiltering(ratio=0.5).filter(blocks)
+        keys = {b.key for b in filtered}
+        # Profile 0 appears in 2 blocks, keeps ceil(0.5*2)=1 → the small one.
+        assert "small" in keys
+        small = next(b for b in filtered if b.key == "small")
+        assert 0 in small.profiles_source0
+
+    def test_ratio_one_is_noop_on_memberships(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        filtered = BlockFiltering(ratio=1.0).filter(blocks)
+        assert filtered.distinct_comparisons() == blocks.distinct_comparisons()
+
+    def test_invalid_ratio(self):
+        with pytest.raises(BlockingError):
+            BlockFiltering(ratio=0.0)
+
+    def test_reduces_comparisons(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        filtered = BlockFiltering(ratio=0.5).filter(blocks)
+        assert filtered.total_comparisons() < blocks.total_comparisons()
+
+    def test_preserves_most_recall(self, abt_buy_small):
+        # Paper: filtering increases precision "without affecting recall".
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        filtered = BlockFiltering(ratio=0.8).filter(blocks)
+        truth = abt_buy_small.ground_truth.pairs()
+        before = len(blocks.distinct_comparisons() & truth)
+        after = len(filtered.distinct_comparisons() & truth)
+        assert after >= 0.9 * before
+
+    def test_no_invalid_blocks_in_output(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        filtered = BlockFiltering(ratio=0.5).filter(blocks)
+        assert all(block.is_valid() for block in filtered)
+
+    def test_clean_clean_blocks_stay_clean(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        filtered = BlockFiltering(ratio=0.5).filter(blocks)
+        separator = abt_buy_small.profiles.separator_id
+        for a, b in filtered.distinct_comparisons():
+            assert a <= separator < b, "filtering must not create within-source pairs"
+
+    def test_entropy_preserved(self):
+        blocks = BlockCollection(
+            [Block(key="k", profiles_source0={0}, profiles_source1={1}, entropy=0.4, clean_clean=True)],
+            clean_clean=True,
+        )
+        filtered = BlockFiltering().filter(blocks)
+        assert filtered[0].entropy == 0.4

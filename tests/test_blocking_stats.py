@@ -1,0 +1,65 @@
+"""Tests of blocking statistics."""
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.stats import candidate_pair_stats, compute_blocking_stats
+from repro.data.ground_truth import GroundTruth
+
+
+def _blocks() -> BlockCollection:
+    return BlockCollection(
+        [
+            Block(key="a", profiles_source0={0, 1}, profiles_source1={5}, clean_clean=True),
+            Block(key="b", profiles_source0={1}, profiles_source1={6}, clean_clean=True),
+        ],
+        clean_clean=True,
+    )
+
+
+class TestComputeBlockingStats:
+    def test_recall_precision(self):
+        truth = GroundTruth([(0, 5), (2, 7)])
+        stats = compute_blocking_stats(_blocks(), truth, max_comparisons=20)
+        assert stats.num_blocks == 2
+        assert stats.num_candidate_pairs == 3
+        assert stats.recall == 0.5
+        assert stats.precision == 1 / 3
+        assert stats.lost_pairs == {(2, 7)}
+
+    def test_reduction_ratio(self):
+        truth = GroundTruth([(0, 5)])
+        stats = compute_blocking_stats(_blocks(), truth, max_comparisons=30)
+        assert stats.reduction_ratio == 1 - 3 / 30
+
+    def test_no_max_comparisons(self):
+        stats = compute_blocking_stats(_blocks(), GroundTruth([(0, 5)]))
+        assert stats.reduction_ratio == 0.0
+
+    def test_f1(self):
+        truth = GroundTruth([(0, 5)])
+        stats = compute_blocking_stats(_blocks(), truth)
+        assert 0.0 < stats.f1 <= 1.0
+
+    def test_as_dict_keys(self):
+        stats = compute_blocking_stats(_blocks(), GroundTruth([(0, 5)]))
+        d = stats.as_dict()
+        assert {"blocks", "candidate_pairs", "recall", "precision", "lost_pairs"} <= set(d)
+
+    def test_empty_truth_full_recall(self):
+        stats = compute_blocking_stats(_blocks(), GroundTruth())
+        assert stats.recall == 1.0
+
+
+class TestCandidatePairStats:
+    def test_basic(self):
+        truth = GroundTruth([(0, 5), (1, 6)])
+        stats = candidate_pair_stats({(0, 5), (9, 10)}, truth, max_comparisons=10)
+        assert stats["candidate_pairs"] == 2
+        assert stats["recall"] == 0.5
+        assert stats["precision"] == 0.5
+        assert stats["lost_pairs"] == 1
+        assert stats["reduction_ratio"] == 0.8
+
+    def test_empty_candidates(self):
+        stats = candidate_pair_stats(set(), GroundTruth([(0, 1)]), max_comparisons=10)
+        assert stats["precision"] == 0.0
+        assert stats["recall"] == 0.0

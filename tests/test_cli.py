@@ -1,0 +1,111 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--synthetic", "abt-buy"])
+        assert args.command == "run"
+        assert args.entities == 200
+        assert not args.schema_agnostic
+
+    def test_partition_defaults(self):
+        args = build_parser().parse_args(["partition", "--synthetic", "abt-buy"])
+        assert args.threshold == 0.3
+
+    def test_unknown_synthetic_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--synthetic", "nope"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_synthetic_run(self, capsys, tmp_path):
+        output = tmp_path / "entities.json"
+        config_path = tmp_path / "config.json"
+        exit_code = main(
+            [
+                "run",
+                "--synthetic", "abt-buy",
+                "--entities", "60",
+                "--output", str(output),
+                "--save-config", str(config_path),
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "pipeline stages" in captured
+        assert "summary:" in captured
+        entities = json.loads(output.read_text())
+        assert isinstance(entities, list) and entities
+        config = json.loads(config_path.read_text())
+        assert config["blocker"]["use_loose_schema"] is True
+
+    def test_schema_agnostic_flag(self, capsys):
+        exit_code = main(
+            ["run", "--synthetic", "abt-buy", "--entities", "50", "--schema-agnostic"]
+        )
+        assert exit_code == 0
+
+    def test_dirty_dataset(self, capsys):
+        exit_code = main(
+            ["run", "--synthetic", "dirty-persons", "--entities", "50",
+             "--schema-agnostic", "--match-threshold", "0.5"]
+        )
+        assert exit_code == 0
+
+    def test_csv_inputs(self, capsys, tmp_path):
+        source0 = tmp_path / "a.csv"
+        source0.write_text(
+            "id,name,price\n1,sony bravia tv,100\n2,canon eos camera,300\n"
+        )
+        source1 = tmp_path / "b.csv"
+        source1.write_text(
+            "id,title,cost\nx,sony bravia television,105\ny,whirlpool fridge,900\n"
+        )
+        mapping = tmp_path / "gt.csv"
+        mapping.write_text("id1,id2\n1,x\n")
+        exit_code = main(
+            [
+                "run",
+                "--source0", str(source0),
+                "--source1", str(source1),
+                "--ground-truth", str(mapping),
+                "--id-field", "id",
+                "--schema-agnostic",
+                "--match-threshold", "0.3",
+            ]
+        )
+        assert exit_code == 0
+        assert "pipeline stages" in capsys.readouterr().out
+
+    def test_missing_input_is_error(self, capsys):
+        exit_code = main(["run"])
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPartitionCommand:
+    def test_partition_output(self, capsys):
+        exit_code = main(
+            ["partition", "--synthetic", "abt-buy", "--entities", "60", "--threshold", "0.2"]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "attribute partitioning" in captured
+        assert "cluster entropies" in captured
+
+    def test_blob_at_threshold_one(self, capsys):
+        exit_code = main(
+            ["partition", "--synthetic", "abt-buy", "--entities", "60", "--threshold", "1.0"]
+        )
+        assert exit_code == 0
+        assert "blob" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""End-to-end tests of the SparkER pipeline (Figure 3)."""
+
+from repro.core.config import SparkERConfig
+from repro.core.sparker import SparkER
+
+
+class TestSparkERUnsupervised:
+    def test_end_to_end_defaults(self, abt_buy_small):
+        result = SparkER().run(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        summary = result.summary()
+        assert summary["candidate_pairs"] > 0
+        assert summary["matched_pairs"] > 0
+        assert summary["clusters"] > 0
+        assert summary["entities"] == summary["clusters"]
+
+    def test_quality_on_synthetic(self, abt_buy_small):
+        result = SparkER().run(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        clusterer_report = result.report.get("clusterer")
+        assert clusterer_report.metrics["recall"] > 0.7
+        assert clusterer_report.metrics["precision"] > 0.7
+
+    def test_stage_reports_present(self, abt_buy_small):
+        result = SparkER().run(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        stages = [s.stage for s in result.report.stages]
+        assert "blocker.token_blocking" in stages
+        assert "matcher" in stages
+        assert "clusterer" in stages
+
+    def test_without_ground_truth(self, abt_buy_small):
+        result = SparkER().run(abt_buy_small.profiles)
+        assert result.summary()["clusters"] >= 0
+
+    def test_timings_recorded(self, abt_buy_small):
+        result = SparkER().run(abt_buy_small.profiles)
+        assert set(result.timings.durations) == {"blocker", "matcher", "clusterer"}
+
+    def test_resolved_pairs_from_clusters(self, abt_buy_small):
+        result = SparkER().run(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        assert result.resolved_pairs >= result.matched_pairs or len(result.resolved_pairs) >= len(
+            result.matched_pairs
+        )
+
+    def test_schema_agnostic_config_more_candidates(self, abt_buy_small):
+        loose = SparkER(SparkERConfig.unsupervised_default()).run(
+            abt_buy_small.profiles, abt_buy_small.ground_truth
+        )
+        agnostic = SparkER(SparkERConfig.schema_agnostic()).run(
+            abt_buy_small.profiles, abt_buy_small.ground_truth
+        )
+        # BLAST (loose schema + entropy) prunes at least as aggressively as the
+        # schema-agnostic configuration.
+        assert loose.summary()["candidate_pairs"] <= agnostic.summary()["candidate_pairs"]
+
+
+class TestSparkERWithEngine:
+    def test_engine_backed_run(self, abt_buy_small):
+        result = SparkER(use_engine=True).run(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        assert result.summary()["clusters"] > 0
+
+    def test_engine_and_local_similar_quality(self, abt_buy_small):
+        local = SparkER().run(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        distributed = SparkER(use_engine=True).run(
+            abt_buy_small.profiles, abt_buy_small.ground_truth
+        )
+        local_f1 = local.report.get("clusterer").metrics["f1"]
+        distributed_f1 = distributed.report.get("clusterer").metrics["f1"]
+        assert abs(local_f1 - distributed_f1) < 0.05
+
+
+class TestSparkERDirty:
+    def test_dirty_er_pipeline(self, dirty_persons_small):
+        config = SparkERConfig.schema_agnostic()
+        config.matcher.threshold = 0.5
+        result = SparkER(config).run(
+            dirty_persons_small.profiles, dirty_persons_small.ground_truth
+        )
+        assert result.summary()["clusters"] > 0
+        clusterer_metrics = result.report.get("clusterer").metrics
+        assert clusterer_metrics["recall"] > 0.3

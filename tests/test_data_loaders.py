@@ -1,0 +1,111 @@
+"""Tests of the CSV / JSON loaders."""
+
+import json
+
+import pytest
+
+from repro.data.loaders import (
+    collection_from_records,
+    load_csv,
+    load_ground_truth_csv,
+    load_json,
+    load_jsonl,
+)
+from repro.exceptions import DataError
+
+
+class TestLoadCsv:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,name,price\n1,sony tv,100\n2,lg tv,200\n")
+        profiles = load_csv(path, id_field="id")
+        assert len(profiles) == 2
+        assert profiles[0].original_id == "1"
+        assert profiles[0].value_of("name") == "sony tv"
+        assert "id" not in profiles[0].attribute_names()
+
+    def test_without_id_field(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name\nsony\n")
+        profiles = load_csv(path)
+        assert profiles[0].original_id == "0"
+        assert profiles[0].value_of("name") == "sony"
+
+    def test_start_id_and_source(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name\na\nb\n")
+        profiles = load_csv(path, source_id=1, start_id=10)
+        assert [p.profile_id for p in profiles] == [10, 11]
+        assert all(p.source_id == 1 for p in profiles)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_csv(tmp_path / "missing.csv")
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "data.tsv"
+        path.write_text("name\tprice\nsony\t1\n")
+        profiles = load_csv(path, delimiter="\t")
+        assert profiles[0].value_of("price") == "1"
+
+
+class TestLoadJson:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps([{"id": "a", "title": "blast"}]))
+        profiles = load_json(path, id_field="id")
+        assert profiles[0].original_id == "a"
+        assert profiles[0].value_of("title") == "blast"
+
+    def test_list_values_flattened(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps([{"authors": ["simonini", "gagliardelli"]}]))
+        profiles = load_json(path)
+        assert profiles[0].values_of("authors") == ["simonini", "gagliardelli"]
+
+    def test_non_list_payload_rejected(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(DataError):
+            load_json(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_json(tmp_path / "missing.json")
+
+
+class TestLoadJsonl:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"name": "a"}\n\n{"name": "b"}\n')
+        profiles = load_jsonl(path)
+        assert [p.value_of("name") for p in profiles] == ["a", "b"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataError):
+            load_jsonl(tmp_path / "missing.jsonl")
+
+
+class TestGroundTruthCsv:
+    def test_mapping(self, tmp_path):
+        path = tmp_path / "gt.csv"
+        path.write_text("id1,id2\na,x\nb,missing\n")
+        truth = load_ground_truth_csv(
+            path, {"a": 0, "b": 1}, {"x": 10}, left_field="id1", right_field="id2"
+        )
+        assert (0, 10) in truth
+        assert len(truth) == 1
+
+
+class TestCollectionFromRecords:
+    def test_two_sources(self):
+        collection = collection_from_records(
+            [{"name": "a"}], [{"title": "b"}], id_field=None
+        )
+        assert collection.is_clean_clean
+        assert len(collection) == 2
+        assert collection[1].source_id == 1
+
+    def test_single_source(self):
+        collection = collection_from_records([{"name": "a"}, {"name": "b"}])
+        assert not collection.is_clean_clean

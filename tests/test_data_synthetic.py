@@ -1,0 +1,106 @@
+"""Tests of the synthetic dataset generators."""
+
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_abt_buy_like,
+    generate_bibliographic,
+    generate_dirty_persons,
+    toy_bibliographic_dataset,
+)
+
+
+class TestAbtBuyLike:
+    def test_deterministic(self):
+        a = generate_abt_buy_like(SyntheticConfig(num_entities=40, seed=1))
+        b = generate_abt_buy_like(SyntheticConfig(num_entities=40, seed=1))
+        assert a.summary() == b.summary()
+        assert a.ground_truth.pairs() == b.ground_truth.pairs()
+
+    def test_seed_changes_data(self):
+        a = generate_abt_buy_like(SyntheticConfig(num_entities=40, seed=1))
+        b = generate_abt_buy_like(SyntheticConfig(num_entities=40, seed=2))
+        assert a.ground_truth.pairs() != b.ground_truth.pairs()
+
+    def test_clean_clean_structure(self):
+        dataset = generate_abt_buy_like(SyntheticConfig(num_entities=50))
+        assert dataset.profiles.is_clean_clean
+        assert dataset.profiles.sources() == {0, 1}
+
+    def test_different_attribute_names_per_source(self):
+        dataset = generate_abt_buy_like(SyntheticConfig(num_entities=30))
+        names = dataset.profiles.attribute_names_by_source()
+        assert "name" in names[0]
+        assert "title" in names[1]
+        assert names[0].isdisjoint(names[1])
+
+    def test_ground_truth_pairs_cross_source(self):
+        dataset = generate_abt_buy_like(SyntheticConfig(num_entities=30))
+        separator = dataset.profiles.separator_id
+        for a, b in dataset.ground_truth:
+            assert a <= separator < b
+
+    def test_matches_share_tokens(self):
+        dataset = generate_abt_buy_like(SyntheticConfig(num_entities=30, typo_rate=0.0))
+        for a, b in list(dataset.ground_truth)[:10]:
+            tokens_a = dataset.profiles[a].tokens()
+            tokens_b = dataset.profiles[b].tokens()
+            assert len(tokens_a & tokens_b) >= 2
+
+    def test_match_rate_controls_overlap(self):
+        low = generate_abt_buy_like(SyntheticConfig(num_entities=100, match_rate=0.2))
+        high = generate_abt_buy_like(SyntheticConfig(num_entities=100, match_rate=0.9))
+        assert len(high.ground_truth) > len(low.ground_truth)
+
+
+class TestBibliographic:
+    def test_structure(self):
+        dataset = generate_bibliographic(num_entities=40)
+        assert dataset.profiles.is_clean_clean
+        assert len(dataset.ground_truth) > 0
+
+    def test_attribute_heterogeneity(self):
+        dataset = generate_bibliographic(num_entities=20)
+        names = dataset.profiles.attribute_names_by_source()
+        assert "title" in names[0]
+        assert "reference" in names[1]
+
+
+class TestDirtyPersons:
+    def test_single_source(self):
+        dataset = generate_dirty_persons(num_entities=30)
+        assert not dataset.profiles.is_clean_clean
+
+    def test_ground_truth_transitive(self):
+        dataset = generate_dirty_persons(num_entities=30, max_duplicates=4)
+        pairs = dataset.ground_truth.pairs()
+        # If (a,b) and (b,c) are matches then (a,c) must be too.
+        by_node: dict[int, set[int]] = {}
+        for a, b in pairs:
+            by_node.setdefault(a, set()).add(b)
+            by_node.setdefault(b, set()).add(a)
+        for a, neighbours in by_node.items():
+            for b in neighbours:
+                for c in by_node[b]:
+                    if c != a:
+                        assert (min(a, c), max(a, c)) in pairs
+
+    def test_duplicate_clusters_exist(self):
+        dataset = generate_dirty_persons(num_entities=50)
+        assert len(dataset.ground_truth) > 0
+
+
+class TestToyDataset:
+    def test_four_profiles(self, toy_dataset):
+        assert len(toy_dataset.profiles) == 4
+        assert toy_dataset.profiles.is_clean_clean
+
+    def test_ground_truth(self, toy_dataset):
+        assert (0, 3) in toy_dataset.ground_truth
+        assert (1, 2) in toy_dataset.ground_truth
+        assert len(toy_dataset.ground_truth) == 2
+
+    def test_attributes_match_figure(self, toy_dataset):
+        p1 = toy_dataset.profiles[0]
+        assert p1.value_of("Name") == "Blast"
+        p3 = toy_dataset.profiles[2]
+        assert "parallel" in p3.value_of("title").lower()

@@ -1,0 +1,86 @@
+"""Tests of the engine context, broadcast variables and accumulators."""
+
+import pytest
+
+from repro.engine.context import EngineContext
+from repro.exceptions import EngineError
+
+
+class TestContext:
+    def test_parallelize_partition_count(self, engine):
+        assert engine.parallelize(range(10)).getNumPartitions() == 4
+
+    def test_parallelize_explicit_partitions(self, engine):
+        assert engine.parallelize(range(10), 2).getNumPartitions() == 2
+
+    def test_range(self, engine):
+        assert engine.range(5).collect() == [0, 1, 2, 3, 4]
+        assert engine.range(2, 5).collect() == [2, 3, 4]
+
+    def test_empty_rdd(self, engine):
+        assert engine.emptyRDD().collect() == []
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(EngineError):
+            EngineContext(default_parallelism=0)
+
+    def test_metrics_summary_counts_jobs(self, engine):
+        engine.parallelize([1, 2, 3]).count()
+        summary = engine.metrics_summary()
+        assert summary["jobs"] >= 1
+        assert summary["tasks"] >= 1
+
+    def test_reset_metrics(self, engine):
+        engine.parallelize([1]).count()
+        engine.reset_metrics()
+        assert engine.metrics_summary()["jobs"] == 0
+
+    def test_repr(self, engine):
+        assert "EngineContext" in repr(engine)
+
+
+class TestBroadcast:
+    def test_value_accessible(self, engine):
+        broadcast = engine.broadcast({"a": 1})
+        assert broadcast.value == {"a": 1}
+
+    def test_access_count(self, engine):
+        broadcast = engine.broadcast(3)
+        _ = broadcast.value
+        _ = broadcast.value
+        assert broadcast.access_count == 2
+
+    def test_destroy(self, engine):
+        broadcast = engine.broadcast("x")
+        broadcast.destroy()
+        with pytest.raises(ValueError):
+            _ = broadcast.value
+
+    def test_unique_ids(self, engine):
+        a = engine.broadcast(1)
+        b = engine.broadcast(2)
+        assert a.id != b.id
+
+    def test_usable_inside_tasks(self, engine):
+        lookup = engine.broadcast({1: "one", 2: "two"})
+        result = engine.parallelize([1, 2]).map(lambda x: lookup.value[x]).collect()
+        assert result == ["one", "two"]
+
+
+class TestAccumulator:
+    def test_add(self, engine):
+        accumulator = engine.accumulator(0)
+        accumulator.add(5)
+        accumulator += 3
+        assert accumulator.value == 8
+
+    def test_custom_combine(self, engine):
+        accumulator = engine.accumulator(set(), combine=lambda a, b: a | b)
+        accumulator.add({1})
+        accumulator.add({2})
+        assert accumulator.value == {1, 2}
+
+    def test_counting_from_tasks(self, engine):
+        counter = engine.accumulator(0)
+        engine.parallelize(range(10)).foreach(lambda _x: counter.add(1))
+        assert counter.value == 10

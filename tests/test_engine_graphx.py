@@ -1,0 +1,119 @@
+"""Tests of union-find and the Pregel-style connected components."""
+
+import pytest
+
+from repro.engine.graphx import (
+    UnionFind,
+    components_as_clusters,
+    connected_components,
+    pregel_connected_components,
+)
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("b")
+        assert uf.find("a") != uf.find("b")
+
+    def test_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.find("a") == uf.find("b")
+
+    def test_transitive_union(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.find(1) == uf.find(3)
+
+    def test_components(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.add(3)
+        groups = uf.components()
+        sizes = sorted(len(members) for members in groups.values())
+        assert sizes == [1, 2]
+
+    def test_len_and_contains(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert len(uf) == 2
+        assert "a" in uf
+        assert "z" not in uf
+
+    def test_idempotent_union(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(1, 2)
+        assert len(uf.components()) == 1
+
+
+class TestConnectedComponents:
+    def test_single_chain(self):
+        assignment = connected_components([(1, 2), (2, 3)])
+        assert assignment[1] == assignment[2] == assignment[3] == 1
+
+    def test_two_components(self):
+        assignment = connected_components([(1, 2), (3, 4)])
+        assert assignment[1] == assignment[2]
+        assert assignment[3] == assignment[4]
+        assert assignment[1] != assignment[3]
+
+    def test_isolated_nodes(self):
+        assignment = connected_components([], nodes=[7, 8])
+        assert assignment == {7: 7, 8: 8}
+
+    def test_component_label_is_minimum(self):
+        assignment = connected_components([(5, 3), (3, 9)])
+        assert assignment[5] == 3
+        assert assignment[9] == 3
+
+    def test_empty(self):
+        assert connected_components([]) == {}
+
+
+class TestPregelConnectedComponents:
+    def test_matches_union_find(self, engine):
+        edges = [(1, 2), (2, 3), (5, 6), (8, 9), (9, 10), (10, 11)]
+        nodes = list(range(1, 13))
+        reference = connected_components(edges, nodes)
+        distributed = pregel_connected_components(engine, edges, nodes)
+        assert distributed == reference
+
+    def test_single_edge(self, engine):
+        assert pregel_connected_components(engine, [(4, 2)]) == {2: 2, 4: 2}
+
+    def test_empty_graph(self, engine):
+        assert pregel_connected_components(engine, [], []) == {}
+
+    def test_isolated_nodes_preserved(self, engine):
+        result = pregel_connected_components(engine, [(1, 2)], nodes=[1, 2, 3])
+        assert result[3] == 3
+
+    def test_long_chain_converges(self, engine):
+        edges = [(i, i + 1) for i in range(30)]
+        result = pregel_connected_components(engine, edges)
+        assert set(result.values()) == {0}
+
+    @pytest.mark.parametrize("num_components", [1, 3, 5])
+    def test_random_components(self, engine, num_components):
+        edges = []
+        nodes = []
+        for c in range(num_components):
+            base = c * 10
+            nodes.extend(range(base, base + 5))
+            edges.extend((base + i, base + i + 1) for i in range(4))
+        result = pregel_connected_components(engine, edges, nodes)
+        assert len(set(result.values())) == num_components
+
+
+class TestComponentsAsClusters:
+    def test_clusters(self):
+        clusters = components_as_clusters({1: 1, 2: 1, 3: 3})
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 2]
+
+    def test_empty(self):
+        assert components_as_clusters({}) == []

@@ -1,0 +1,82 @@
+"""Tests of engine metrics and the scheduler bookkeeping."""
+
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.engine.scheduler import Scheduler
+
+
+class TestStageMetrics:
+    def test_aggregation(self):
+        stage = StageMetrics(stage_id=0, description="test")
+        stage.tasks.append(TaskMetrics(0, 0, input_records=5, output_records=10))
+        stage.tasks.append(TaskMetrics(0, 1, input_records=3, output_records=2))
+        assert stage.num_tasks == 2
+        assert stage.total_input_records == 8
+        assert stage.total_output_records == 12
+        assert stage.max_task_records == 10
+
+    def test_skew_balanced(self):
+        stage = StageMetrics(stage_id=0, description="balanced")
+        for i in range(4):
+            stage.tasks.append(TaskMetrics(0, i, output_records=10))
+        assert stage.skew == 1.0
+
+    def test_skew_unbalanced(self):
+        stage = StageMetrics(stage_id=0, description="skewed")
+        stage.tasks.append(TaskMetrics(0, 0, output_records=30))
+        stage.tasks.append(TaskMetrics(0, 1, output_records=10))
+        assert stage.skew == 1.5
+
+    def test_skew_empty(self):
+        assert StageMetrics(stage_id=0, description="empty").skew == 0.0
+
+
+class TestJobMetrics:
+    def test_summary(self):
+        job = JobMetrics(job_id=1, description="count")
+        stage = StageMetrics(stage_id=0, description="s")
+        stage.tasks.append(TaskMetrics(0, 0, shuffle_write_records=7, output_records=5))
+        job.stages.append(stage)
+        summary = job.summary()
+        assert summary["stages"] == 1
+        assert summary["tasks"] == 1
+        assert summary["shuffle_records"] == 7
+
+
+class TestScheduler:
+    def test_job_stage_nesting(self):
+        scheduler = Scheduler()
+        scheduler.start_job("job")
+        stage = scheduler.new_stage("stage")
+        scheduler.record_task(stage, 0, output_records=3)
+        scheduler.finish_job()
+        assert scheduler.jobs[0].num_stages == 1
+        assert scheduler.total_tasks == 1
+
+    def test_stage_outside_job(self):
+        scheduler = Scheduler()
+        scheduler.new_stage("loose stage")
+        assert len(scheduler.stages) == 1
+        assert scheduler.jobs == []
+
+    def test_reset(self):
+        scheduler = Scheduler()
+        scheduler.start_job("job")
+        scheduler.new_stage("stage")
+        scheduler.reset()
+        assert scheduler.stages == []
+        assert scheduler.jobs == []
+
+    def test_engine_records_shuffle_volume(self, engine):
+        data = [(i % 5, i) for i in range(100)]
+        engine.parallelize(data, 4).reduceByKey(lambda a, b: a + b).collect()
+        assert engine.scheduler.total_shuffle_records > 0
+
+    def test_more_partitions_more_tasks(self):
+        from repro.engine.context import EngineContext
+
+        small = EngineContext(default_parallelism=2)
+        large = EngineContext(default_parallelism=8)
+        data = [(i % 10, i) for i in range(100)]
+        small.parallelize(data).reduceByKey(lambda a, b: a + b).collect()
+        large.parallelize(data).reduceByKey(lambda a, b: a + b).collect()
+        assert large.scheduler.total_tasks > small.scheduler.total_tasks

@@ -1,0 +1,49 @@
+"""Tests of the partitioners."""
+
+import pytest
+
+from repro.engine.partitioner import HashPartitioner, RangePartitioner
+from repro.exceptions import EngineError
+
+
+class TestHashPartitioner:
+    def test_range_of_indices(self):
+        partitioner = HashPartitioner(4)
+        for key in ["a", "b", 1, (1, "x"), None]:
+            assert 0 <= partitioner.partition(key) < 4
+
+    def test_deterministic(self):
+        assert HashPartitioner(8).partition("key") == HashPartitioner(8).partition("key")
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(EngineError):
+            HashPartitioner(0)
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(8)
+
+    def test_distributes_keys(self):
+        partitioner = HashPartitioner(4)
+        assignments = {partitioner.partition(f"key{i}") for i in range(200)}
+        assert len(assignments) == 4
+
+
+class TestRangePartitioner:
+    def test_sorted_keys_ordered_partitions(self):
+        partitioner = RangePartitioner(3, list(range(90)))
+        indices = [partitioner.partition(k) for k in range(90)]
+        assert indices == sorted(indices)
+        assert set(indices) == {0, 1, 2}
+
+    def test_single_partition(self):
+        partitioner = RangePartitioner(1, [1, 2, 3])
+        assert partitioner.partition(100) == 0
+
+    def test_empty_sample(self):
+        partitioner = RangePartitioner(3, [])
+        assert partitioner.partition("anything") == 0
+
+    def test_bounds_respected(self):
+        partitioner = RangePartitioner(4, list(range(10)))
+        assert 0 <= partitioner.partition(99999) < 4

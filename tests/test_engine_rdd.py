@@ -1,0 +1,234 @@
+"""Tests of the RDD API of the mini engine."""
+
+import pytest
+
+from repro.exceptions import EngineError
+
+
+class TestBasicActions:
+    def test_collect_roundtrip(self, engine):
+        data = list(range(20))
+        assert engine.parallelize(data).collect() == data
+
+    def test_count(self, engine):
+        assert engine.parallelize(range(17)).count() == 17
+
+    def test_take(self, engine):
+        assert engine.parallelize(range(100)).take(3) == [0, 1, 2]
+
+    def test_first(self, engine):
+        assert engine.parallelize([5, 6, 7]).first() == 5
+
+    def test_first_empty_raises(self, engine):
+        with pytest.raises(EngineError):
+            engine.emptyRDD().first()
+
+    def test_reduce(self, engine):
+        assert engine.parallelize(range(1, 6)).reduce(lambda a, b: a + b) == 15
+
+    def test_reduce_empty_raises(self, engine):
+        with pytest.raises(EngineError):
+            engine.emptyRDD().reduce(lambda a, b: a + b)
+
+    def test_fold(self, engine):
+        assert engine.parallelize([1, 2, 3]).fold(10, lambda a, b: a + b) == 16
+
+    def test_sum(self, engine):
+        assert engine.parallelize([1, 2, 3]).sum() == 6
+
+    def test_is_empty(self, engine):
+        assert engine.emptyRDD().isEmpty()
+        assert not engine.parallelize([1]).isEmpty()
+
+    def test_top(self, engine):
+        assert engine.parallelize([3, 1, 4, 1, 5]).top(2) == [5, 4]
+
+    def test_count_by_value(self, engine):
+        counts = engine.parallelize(["a", "b", "a"]).countByValue()
+        assert counts == {"a": 2, "b": 1}
+
+    def test_foreach_side_effects(self, engine):
+        seen = []
+        engine.parallelize([1, 2, 3]).foreach(seen.append)
+        assert seen == [1, 2, 3]
+
+
+class TestNarrowTransformations:
+    def test_map(self, engine):
+        assert engine.parallelize([1, 2, 3]).map(lambda x: x * 2).collect() == [2, 4, 6]
+
+    def test_flat_map(self, engine):
+        result = engine.parallelize(["a b", "c"]).flatMap(str.split).collect()
+        assert result == ["a", "b", "c"]
+
+    def test_filter(self, engine):
+        result = engine.parallelize(range(10)).filter(lambda x: x % 2 == 0).collect()
+        assert result == [0, 2, 4, 6, 8]
+
+    def test_map_partitions(self, engine):
+        result = engine.parallelize(range(8), 4).mapPartitions(lambda it: [sum(it)]).collect()
+        assert sum(result) == sum(range(8))
+        assert len(result) == 4
+
+    def test_map_partitions_with_index(self, engine):
+        result = (
+            engine.parallelize(range(4), 2)
+            .mapPartitionsWithIndex(lambda i, it: [(i, len(list(it)))])
+            .collect()
+        )
+        assert dict(result) == {0: 2, 1: 2}
+
+    def test_key_by(self, engine):
+        assert engine.parallelize([1, 2]).keyBy(lambda x: x % 2).collect() == [(1, 1), (0, 2)]
+
+    def test_map_values(self, engine):
+        result = engine.parallelize([("a", 1)]).mapValues(lambda v: v + 1).collect()
+        assert result == [("a", 2)]
+
+    def test_flat_map_values(self, engine):
+        result = engine.parallelize([("a", [1, 2])]).flatMapValues(lambda v: v).collect()
+        assert result == [("a", 1), ("a", 2)]
+
+    def test_keys_values(self, engine):
+        pairs = engine.parallelize([("a", 1), ("b", 2)])
+        assert pairs.keys().collect() == ["a", "b"]
+        assert pairs.values().collect() == [1, 2]
+
+    def test_union(self, engine):
+        result = engine.parallelize([1, 2]).union(engine.parallelize([3])).collect()
+        assert result == [1, 2, 3]
+
+    def test_zip_with_index(self, engine):
+        result = engine.parallelize(["a", "b", "c"]).zipWithIndex().collect()
+        assert result == [("a", 0), ("b", 1), ("c", 2)]
+
+    def test_sample_deterministic(self, engine):
+        rdd = engine.parallelize(range(1000))
+        first = rdd.sample(0.1, seed=3).collect()
+        second = engine.parallelize(range(1000)).sample(0.1, seed=3).collect()
+        assert first == second
+        assert 0 < len(first) < 1000
+
+    def test_sample_invalid_fraction(self, engine):
+        with pytest.raises(EngineError):
+            engine.parallelize([1]).sample(1.5)
+
+    def test_chained_laziness(self, engine):
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        rdd = engine.parallelize([1, 2, 3]).map(record)
+        assert calls == []  # nothing executed before the action
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, engine):
+        data = [("a", 1), ("b", 2), ("a", 3)]
+        result = dict(engine.parallelize(data).reduceByKey(lambda a, b: a + b).collect())
+        assert result == {"a": 4, "b": 2}
+
+    def test_group_by_key(self, engine):
+        data = [("a", 1), ("a", 2), ("b", 3)]
+        result = {k: sorted(v) for k, v in engine.parallelize(data).groupByKey().collect()}
+        assert result == {"a": [1, 2], "b": [3]}
+
+    def test_aggregate_by_key(self, engine):
+        data = [("a", 1), ("a", 2), ("b", 3)]
+        result = dict(
+            engine.parallelize(data)
+            .aggregateByKey(0, lambda acc, v: acc + v, lambda a, b: a + b)
+            .collect()
+        )
+        assert result == {"a": 3, "b": 3}
+
+    def test_distinct(self, engine):
+        result = sorted(engine.parallelize([1, 2, 2, 3, 3, 3]).distinct().collect())
+        assert result == [1, 2, 3]
+
+    def test_join(self, engine):
+        left = engine.parallelize([("a", 1), ("b", 2)])
+        right = engine.parallelize([("a", "x"), ("c", "y")])
+        assert left.join(right).collect() == [("a", (1, "x"))]
+
+    def test_left_outer_join(self, engine):
+        left = engine.parallelize([("a", 1), ("b", 2)])
+        right = engine.parallelize([("a", "x")])
+        result = dict(left.leftOuterJoin(right).collect())
+        assert result == {"a": (1, "x"), "b": (2, None)}
+
+    def test_cogroup(self, engine):
+        left = engine.parallelize([("a", 1)])
+        right = engine.parallelize([("a", 2), ("b", 3)])
+        result = {k: v for k, v in left.cogroup(right).collect()}
+        assert result["a"] == ([1], [2])
+        assert result["b"] == ([], [3])
+
+    def test_subtract_by_key(self, engine):
+        left = engine.parallelize([("a", 1), ("b", 2)])
+        right = engine.parallelize([("a", 9)])
+        assert left.subtractByKey(right).collect() == [("b", 2)]
+
+    def test_count_by_key(self, engine):
+        data = [("a", 1), ("a", 2), ("b", 1)]
+        assert engine.parallelize(data).countByKey() == {"a": 2, "b": 1}
+
+    def test_sort_by(self, engine):
+        result = engine.parallelize([3, 1, 2]).sortBy(lambda x: x).collect()
+        assert result == [1, 2, 3]
+
+    def test_sort_by_descending(self, engine):
+        result = engine.parallelize([3, 1, 2]).sortBy(lambda x: x, ascending=False).collect()
+        assert result == [3, 2, 1]
+
+    def test_collect_as_map(self, engine):
+        assert engine.parallelize([("a", 1)]).collectAsMap() == {"a": 1}
+
+    def test_partition_by(self, engine):
+        from repro.engine.partitioner import HashPartitioner
+
+        rdd = engine.parallelize([("a", 1), ("b", 2), ("c", 3)]).partitionBy(
+            HashPartitioner(2)
+        )
+        assert rdd.getNumPartitions() == 2
+        assert sorted(rdd.collect()) == [("a", 1), ("b", 2), ("c", 3)]
+
+    def test_repartition(self, engine):
+        rdd = engine.parallelize(range(10), 2).repartition(5)
+        assert rdd.getNumPartitions() == 5
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_shuffle_keeps_all_records(self, engine):
+        data = [(i % 7, i) for i in range(200)]
+        grouped = engine.parallelize(data, 8).groupByKey()
+        total = sum(len(values) for _key, values in grouped.collect())
+        assert total == 200
+
+
+class TestCaching:
+    def test_cache_memoizes(self, engine):
+        calls = []
+        rdd = engine.parallelize([1, 2, 3]).map(lambda x: calls.append(x) or x).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(calls) == 3
+
+    def test_unpersist_allows_recompute(self, engine):
+        rdd = engine.parallelize([1, 2, 3]).map(lambda x: x + 1)
+        assert rdd.cache().collect() == [2, 3, 4]
+        rdd.unpersist()
+        assert rdd.collect() == [2, 3, 4]
+
+    def test_glom_partition_structure(self, engine):
+        partitions = engine.parallelize(range(10), 3).glom()
+        assert len(partitions) == 3
+        assert [x for part in partitions for x in part] == list(range(10))
+
+    def test_empty_partition_allowed(self, engine):
+        partitions = engine.parallelize([1], 4).glom()
+        assert len(partitions) == 4
+        assert sum(len(p) for p in partitions) == 1

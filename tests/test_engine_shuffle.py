@@ -1,0 +1,49 @@
+"""Tests of the shuffle helpers."""
+
+from repro.engine.partitioner import HashPartitioner
+from repro.engine.shuffle import (
+    group_by_key_partition,
+    map_side_combine,
+    reduce_by_key_partition,
+    shuffle_partitions,
+)
+
+
+class TestShufflePartitions:
+    def test_all_records_kept(self):
+        parents = [[("a", 1), ("b", 2)], [("a", 3)]]
+        buckets, shuffled = shuffle_partitions(parents, HashPartitioner(3))
+        assert shuffled == 3
+        assert sorted(r for bucket in buckets for r in bucket) == [("a", 1), ("a", 3), ("b", 2)]
+
+    def test_same_key_same_bucket(self):
+        parents = [[("k", i) for i in range(10)]]
+        buckets, _ = shuffle_partitions(parents, HashPartitioner(4))
+        non_empty = [b for b in buckets if b]
+        assert len(non_empty) == 1
+
+    def test_empty_input(self):
+        buckets, shuffled = shuffle_partitions([], HashPartitioner(2))
+        assert shuffled == 0
+        assert buckets == [[], []]
+
+
+class TestCombiners:
+    def test_map_side_combine(self):
+        partition = [("a", 1), ("a", 2), ("b", 5)]
+        combined = dict(map_side_combine(partition, lambda v: v, lambda a, b: a + b))
+        assert combined == {"a": 3, "b": 5}
+
+    def test_group_by_key_partition(self):
+        partition = [("a", 1), ("b", 2), ("a", 3)]
+        grouped = dict(group_by_key_partition(partition))
+        assert grouped == {"a": [1, 3], "b": [2]}
+
+    def test_reduce_by_key_partition(self):
+        partition = [("a", 1), ("a", 2), ("b", 3)]
+        reduced = dict(reduce_by_key_partition(partition, lambda a, b: a + b))
+        assert reduced == {"a": 3, "b": 3}
+
+    def test_reduce_single_value_untouched(self):
+        reduced = dict(reduce_by_key_partition([("a", 7)], lambda a, b: a + b))
+        assert reduced == {"a": 7}

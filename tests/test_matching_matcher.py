@@ -1,0 +1,128 @@
+"""Tests of threshold / rule-based matchers and the similarity graph."""
+
+import pytest
+
+from repro.data.dataset import ProfileCollection
+from repro.data.profile import EntityProfile
+from repro.exceptions import MatchingError
+from repro.matching.matcher import MatchingRule, RuleBasedMatcher, ThresholdMatcher
+from repro.matching.similarity_graph import SimilarityEdge, SimilarityGraph
+
+
+def _profiles() -> ProfileCollection:
+    p0 = EntityProfile(profile_id=0, source_id=0)
+    p0.add("name", "sony bravia 40 inch tv")
+    p0.add("price", "499")
+    p1 = EntityProfile(profile_id=1, source_id=1)
+    p1.add("title", "sony bravia 40 inch television")
+    p1.add("list_price", "510")
+    p2 = EntityProfile(profile_id=2, source_id=1)
+    p2.add("title", "whirlpool stainless dishwasher")
+    p2.add("list_price", "300")
+    return ProfileCollection([p0, p1, p2])
+
+
+class TestSimilarityGraph:
+    def test_add_and_contains(self):
+        graph = SimilarityGraph()
+        graph.add(2, 1, 0.8)
+        assert (1, 2) in graph
+        assert (2, 1) in graph
+        assert graph.score_of(1, 2) == 0.8
+
+    def test_higher_score_wins(self):
+        graph = SimilarityGraph()
+        graph.add(1, 2, 0.5)
+        graph.add(2, 1, 0.9)
+        graph.add(1, 2, 0.3)
+        assert graph.score_of(1, 2) == 0.9
+        assert len(graph) == 1
+
+    def test_nodes_and_pairs(self):
+        graph = SimilarityGraph([SimilarityEdge(1, 2, 0.5), SimilarityEdge(3, 4, 0.6)])
+        assert graph.nodes() == {1, 2, 3, 4}
+        assert graph.pairs() == {(1, 2), (3, 4)}
+
+    def test_edges_above(self):
+        graph = SimilarityGraph([SimilarityEdge(1, 2, 0.5), SimilarityEdge(3, 4, 0.9)])
+        filtered = graph.edges_above(0.8)
+        assert filtered.pairs() == {(3, 4)}
+
+    def test_missing_score_none(self):
+        assert SimilarityGraph().score_of(1, 2) is None
+
+
+class TestThresholdMatcher:
+    def test_matches_similar_pair(self):
+        profiles = _profiles()
+        matcher = ThresholdMatcher("jaccard", threshold=0.4)
+        graph = matcher.match(profiles, [(0, 1), (0, 2)])
+        assert (0, 1) in graph
+        assert (0, 2) not in graph
+
+    def test_score_in_unit_interval(self):
+        profiles = _profiles()
+        matcher = ThresholdMatcher("jaccard", threshold=0.0)
+        assert 0.0 <= matcher.score(profiles[0], profiles[1]) <= 1.0
+
+    def test_threshold_one_matches_only_identical(self):
+        profiles = _profiles()
+        graph = ThresholdMatcher("jaccard", threshold=1.0).match(profiles, [(0, 1)])
+        assert len(graph) == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(MatchingError):
+            ThresholdMatcher(threshold=1.5)
+
+    def test_unknown_similarity(self):
+        with pytest.raises(MatchingError):
+            ThresholdMatcher(similarity="nope")
+
+    def test_different_similarities_give_different_graphs(self):
+        profiles = _profiles()
+        jaccard = ThresholdMatcher("jaccard", 0.3).match(profiles, [(0, 1), (0, 2)])
+        levenshtein = ThresholdMatcher("levenshtein", 0.3).match(profiles, [(0, 1), (0, 2)])
+        assert isinstance(jaccard, SimilarityGraph)
+        assert isinstance(levenshtein, SimilarityGraph)
+
+
+class TestRuleBasedMatcher:
+    def test_conjunction_of_rules(self):
+        profiles = _profiles()
+        matcher = RuleBasedMatcher(
+            [
+                MatchingRule("jaccard", 0.4, "name", "title"),
+                MatchingRule("numeric", 0.9, "price", "list_price"),
+            ]
+        )
+        graph = matcher.match(profiles, [(0, 1), (0, 2)])
+        assert (0, 1) in graph
+        assert (0, 2) not in graph
+
+    def test_single_failing_rule_rejects(self):
+        profiles = _profiles()
+        matcher = RuleBasedMatcher(
+            [
+                MatchingRule("jaccard", 0.4, "name", "title"),
+                MatchingRule("numeric", 0.999, "price", "list_price"),
+            ]
+        )
+        graph = matcher.match(profiles, [(0, 1)])
+        assert len(graph) == 0
+
+    def test_whole_profile_rule(self):
+        profiles = _profiles()
+        matcher = RuleBasedMatcher([MatchingRule("jaccard", 0.3)])
+        assert matcher.is_match(profiles[0], profiles[1])
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(MatchingError):
+            RuleBasedMatcher([])
+
+    def test_score_is_mean_of_rules(self):
+        profiles = _profiles()
+        matcher = RuleBasedMatcher(
+            [MatchingRule("jaccard", 0.1, "name", "title"), MatchingRule("numeric", 0.1, "price", "list_price")]
+        )
+        score = matcher.score(profiles[0], profiles[1])
+        assert 0.0 <= score <= 1.0

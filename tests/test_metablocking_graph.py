@@ -1,0 +1,80 @@
+"""Tests of the blocking graph construction."""
+
+from repro.blocking.block import Block, BlockCollection
+from repro.blocking.token_blocking import TokenBlocking
+from repro.metablocking.graph import build_blocking_graph
+
+
+def _collection() -> BlockCollection:
+    return BlockCollection(
+        [
+            Block(key="a", profiles_source0={0, 1}, profiles_source1={5}, clean_clean=True),
+            Block(key="b", profiles_source0={0}, profiles_source1={5}, clean_clean=True,
+                  entropy=0.5),
+        ],
+        clean_clean=True,
+    )
+
+
+class TestBuildBlockingGraph:
+    def test_edges_from_co_occurrence(self):
+        graph = build_blocking_graph(_collection())
+        assert (0, 5) in graph.edges
+        assert (1, 5) in graph.edges
+        assert graph.num_edges == 2
+
+    def test_common_blocks_counted(self):
+        graph = build_blocking_graph(_collection())
+        assert graph.edges[(0, 5)].common_blocks == 2
+        assert graph.edges[(1, 5)].common_blocks == 1
+
+    def test_arcs_accumulates_reciprocals(self):
+        graph = build_blocking_graph(_collection())
+        # block "a" has 2 comparisons, block "b" has 1.
+        assert graph.edges[(0, 5)].arcs == 1 / 2 + 1 / 1
+        assert graph.edges[(1, 5)].arcs == 1 / 2
+
+    def test_entropy_sum_and_mean(self):
+        graph = build_blocking_graph(_collection())
+        info = graph.edges[(0, 5)]
+        assert info.entropy_sum == 1.0 + 0.5
+        assert info.mean_entropy == 0.75
+
+    def test_blocks_per_profile(self):
+        graph = build_blocking_graph(_collection())
+        assert graph.blocks_per_profile[0] == 2
+        assert graph.blocks_per_profile[1] == 1
+        assert graph.blocks_per_profile[5] == 2
+
+    def test_num_nodes(self):
+        graph = build_blocking_graph(_collection())
+        assert graph.num_nodes == 3
+
+    def test_neighbors(self):
+        graph = build_blocking_graph(_collection())
+        assert set(graph.neighbors(5)) == {0, 1}
+        assert set(graph.neighbors(0)) == {5}
+
+    def test_edge_lookup_order_insensitive(self):
+        graph = build_blocking_graph(_collection())
+        assert graph.edge(5, 0) is graph.edge(0, 5)
+        assert graph.edge(0, 99) is None
+
+    def test_adjacency_symmetric(self):
+        graph = build_blocking_graph(_collection())
+        adjacency = graph.adjacency()
+        assert len(adjacency[5]) == 2
+        assert len(adjacency[0]) == 1
+
+    def test_invalid_blocks_ignored(self):
+        collection = BlockCollection(
+            [Block(key="solo", profiles_source0={7}, clean_clean=True)], clean_clean=True
+        )
+        graph = build_blocking_graph(collection)
+        assert graph.num_edges == 0
+        assert graph.num_nodes == 0
+
+    def test_edges_match_distinct_comparisons(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        graph = build_blocking_graph(blocks)
+        assert set(graph.edges) == blocks.distinct_comparisons()

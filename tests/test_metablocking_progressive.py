@@ -1,0 +1,74 @@
+"""Tests of the progressive meta-blocking extension."""
+
+from repro.blocking.token_blocking import TokenBlocking
+from repro.metablocking.progressive import (
+    ProgressiveNodeScheduling,
+    ProgressiveSortedComparisons,
+    progressive_recall_curve,
+)
+
+
+class TestProgressiveSortedComparisons:
+    def test_ranking_covers_all_comparisons(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        ranking = ProgressiveSortedComparisons("cbs").rank(blocks)
+        assert set(ranking) == blocks.distinct_comparisons()
+
+    def test_no_duplicates(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        ranking = ProgressiveSortedComparisons("cbs").rank(blocks)
+        assert len(ranking) == len(set(ranking))
+
+    def test_front_loaded_recall(self, abt_buy_small):
+        # The defining property of progressive ER: the first X% of the ranked
+        # comparisons contain far more than X% of the true matches.
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        ranking = ProgressiveSortedComparisons("cbs").rank(blocks)
+        truth = abt_buy_small.ground_truth.pairs()
+        budget = len(ranking) // 10
+        early = set(ranking[:budget])
+        early_recall = len(early & truth) / len(truth)
+        assert early_recall > 0.5
+
+    def test_stream_matches_rank(self, toy_dataset):
+        blocks = TokenBlocking().block(toy_dataset.profiles)
+        strategy = ProgressiveSortedComparisons()
+        assert list(strategy.stream(blocks)) == strategy.rank(blocks)
+
+    def test_deterministic(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        strategy = ProgressiveSortedComparisons("js")
+        assert strategy.rank(blocks) == strategy.rank(blocks)
+
+
+class TestProgressiveNodeScheduling:
+    def test_ranking_covers_all_comparisons(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        ranking = ProgressiveNodeScheduling("cbs").rank(blocks)
+        assert set(ranking) == blocks.distinct_comparisons()
+        assert len(ranking) == len(set(ranking))
+
+    def test_better_than_random_order(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        ranking = ProgressiveNodeScheduling("cbs").rank(blocks)
+        truth = abt_buy_small.ground_truth.pairs()
+        budget = len(ranking) // 5
+        early_recall = len(set(ranking[:budget]) & truth) / len(truth)
+        random_expectation = budget / len(ranking)
+        assert early_recall > random_expectation
+
+
+class TestProgressiveRecallCurve:
+    def test_curve_monotone_and_complete(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        ranking = ProgressiveSortedComparisons("cbs").rank(blocks)
+        curve = progressive_recall_curve(
+            ranking, abt_buy_small.ground_truth.pairs(), num_points=5
+        )
+        recalls = [point["recall"] for point in curve]
+        assert recalls == sorted(recalls)
+        assert curve[-1]["recall"] > 0.95
+
+    def test_empty_inputs(self):
+        assert progressive_recall_curve([], {(1, 2)}) == []
+        assert progressive_recall_curve([(1, 2)], set()) == []

@@ -1,0 +1,64 @@
+"""Tests of the public package surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.engine",
+            "repro.data",
+            "repro.blocking",
+            "repro.looseschema",
+            "repro.metablocking",
+            "repro.matching",
+            "repro.clustering",
+            "repro.evaluation",
+            "repro.sampling",
+            "repro.core",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_importable(self, module):
+        imported = importlib.import_module(module)
+        assert imported is not None
+
+    def test_facade_classes_exported(self):
+        assert repro.SparkER is not None
+        assert repro.SparkERConfig is not None
+        assert repro.DebugSession is not None
+        assert repro.EntityProfile is not None
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import exceptions
+
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, exceptions.SparkERError)
+
+    def test_base_catchable(self):
+        from repro.exceptions import ConfigurationError, SparkERError
+
+        with pytest.raises(SparkERError):
+            raise ConfigurationError("bad config")
+
+    def test_specific_errors_distinct(self):
+        from repro.exceptions import BlockingError, MatchingError
+
+        assert not issubclass(BlockingError, MatchingError)

@@ -1,0 +1,74 @@
+"""Tests of the process-debugging sampler."""
+
+import pytest
+
+from repro.data.dataset import ProfileCollection
+from repro.exceptions import DataError
+from repro.sampling.debug_sampler import DebugSampler
+
+
+class TestDebugSampler:
+    def test_sample_smaller_than_input(self, abt_buy_medium):
+        sample = DebugSampler(num_seeds=10, per_seed=6).sample(
+            abt_buy_medium.profiles, abt_buy_medium.ground_truth
+        )
+        assert 0 < len(sample.profiles) < len(abt_buy_medium.profiles)
+
+    def test_sample_contains_matches(self, abt_buy_medium):
+        # The whole point of the Magellan-style sampler: the sample must keep
+        # matching pairs, not only random (mostly non-matching) profiles.
+        sample = DebugSampler(num_seeds=20, per_seed=10).sample(
+            abt_buy_medium.profiles, abt_buy_medium.ground_truth
+        )
+        assert len(sample.ground_truth) > 0
+
+    def test_deterministic(self, abt_buy_small):
+        first = DebugSampler(seed=5).sample(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        second = DebugSampler(seed=5).sample(abt_buy_small.profiles, abt_buy_small.ground_truth)
+        assert first.profiles.ids() == second.profiles.ids()
+
+    def test_seed_changes_sample(self, abt_buy_medium):
+        first = DebugSampler(seed=1).sample(abt_buy_medium.profiles)
+        second = DebugSampler(seed=2).sample(abt_buy_medium.profiles)
+        assert first.profiles.ids() != second.profiles.ids()
+
+    def test_larger_parameters_larger_sample(self, abt_buy_medium):
+        small = DebugSampler(num_seeds=5, per_seed=4).sample(abt_buy_medium.profiles)
+        large = DebugSampler(num_seeds=30, per_seed=10).sample(abt_buy_medium.profiles)
+        assert len(large.profiles) > len(small.profiles)
+
+    def test_both_sources_present(self, abt_buy_medium):
+        sample = DebugSampler(num_seeds=10, per_seed=6).sample(abt_buy_medium.profiles)
+        assert sample.profiles.sources() == {0, 1}
+
+    def test_ground_truth_restricted(self, abt_buy_medium):
+        sample = DebugSampler().sample(abt_buy_medium.profiles, abt_buy_medium.ground_truth)
+        sampled_ids = set(sample.profiles.ids())
+        for a, b in sample.ground_truth:
+            assert a in sampled_ids and b in sampled_ids
+
+    def test_works_without_ground_truth(self, abt_buy_small):
+        sample = DebugSampler().sample(abt_buy_small.profiles)
+        assert len(sample.ground_truth) == 0
+
+    def test_dirty_dataset(self, dirty_persons_small):
+        sample = DebugSampler(num_seeds=10, per_seed=6).sample(
+            dirty_persons_small.profiles, dirty_persons_small.ground_truth
+        )
+        assert 0 < len(sample.profiles) <= len(dirty_persons_small.profiles)
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(DataError):
+            DebugSampler().sample(ProfileCollection())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DataError):
+            DebugSampler(num_seeds=0)
+
+    def test_summary(self, abt_buy_small):
+        sample = DebugSampler(num_seeds=5, per_seed=4).sample(
+            abt_buy_small.profiles, abt_buy_small.ground_truth
+        )
+        summary = sample.summary()
+        assert summary["seeds"] == 5
+        assert summary["profiles"] == len(sample.profiles)

@@ -1,0 +1,90 @@
+"""Tests of stable hashing and MinHash."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashing import MinHasher, stable_hash, stable_token_hash
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("sparker") == stable_hash("sparker")
+
+    def test_seed_changes_value(self):
+        assert stable_hash("sparker", seed=1) != stable_hash("sparker", seed=2)
+
+    def test_different_values_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_handles_tuples(self):
+        assert stable_hash((1, "a")) == stable_hash((1, "a"))
+
+    def test_token_hash_fits_32_bits(self):
+        assert 0 <= stable_token_hash("token") < 2**32
+
+
+class TestMinHasher:
+    def test_signature_length(self):
+        hasher = MinHasher(num_perm=64)
+        assert hasher.signature({"a", "b"}).shape == (64,)
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(num_perm=64)
+        sig_a = hasher.signature({"a", "b", "c"})
+        sig_b = hasher.signature({"c", "b", "a"})
+        assert np.array_equal(sig_a, sig_b)
+
+    def test_jaccard_estimate_close_to_truth(self):
+        hasher = MinHasher(num_perm=256)
+        set_a = {f"token{i}" for i in range(100)}
+        set_b = {f"token{i}" for i in range(50, 150)}
+        true_jaccard = len(set_a & set_b) / len(set_a | set_b)
+        estimate = MinHasher.estimate_jaccard(
+            hasher.signature(set_a), hasher.signature(set_b)
+        )
+        assert abs(estimate - true_jaccard) < 0.15
+
+    def test_disjoint_sets_low_similarity(self):
+        hasher = MinHasher(num_perm=128)
+        estimate = MinHasher.estimate_jaccard(
+            hasher.signature({"a", "b", "c"}), hasher.signature({"x", "y", "z"})
+        )
+        assert estimate < 0.3
+
+    def test_empty_set_signature(self):
+        hasher = MinHasher(num_perm=16)
+        signature = hasher.signature(set())
+        assert signature.shape == (16,)
+
+    def test_invalid_num_perm(self):
+        with pytest.raises(ValueError):
+            MinHasher(num_perm=0)
+
+    def test_estimate_requires_same_length(self):
+        hasher16 = MinHasher(num_perm=16)
+        hasher32 = MinHasher(num_perm=32)
+        with pytest.raises(ValueError):
+            MinHasher.estimate_jaccard(
+                hasher16.signature({"a"}), hasher32.signature({"a"})
+            )
+
+    def test_bands_count(self):
+        hasher = MinHasher(num_perm=64)
+        buckets = hasher.bands(hasher.signature({"a", "b"}), num_bands=16)
+        assert len(buckets) == 16
+
+    def test_bands_must_divide(self):
+        hasher = MinHasher(num_perm=64)
+        with pytest.raises(ValueError):
+            hasher.bands(hasher.signature({"a"}), num_bands=7)
+
+    def test_identical_sets_share_every_band(self):
+        hasher = MinHasher(num_perm=64)
+        buckets_a = hasher.bands(hasher.signature({"a", "b"}), 8)
+        buckets_b = hasher.bands(hasher.signature({"a", "b"}), 8)
+        assert buckets_a == buckets_b
+
+    def test_deterministic_across_instances(self):
+        sig_a = MinHasher(num_perm=32, seed=7).signature({"x", "y"})
+        sig_b = MinHasher(num_perm=32, seed=7).signature({"x", "y"})
+        assert np.array_equal(sig_a, sig_b)

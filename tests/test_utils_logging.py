@@ -1,0 +1,24 @@
+"""Tests of the logging helpers."""
+
+import logging
+
+from repro.utils.logging import LOGGER_NAME, configure_logging, get_logger
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        logger = get_logger("blocker")
+        assert logger.name == f"{LOGGER_NAME}.blocker"
+
+    def test_get_logger_default(self):
+        assert get_logger().name == LOGGER_NAME
+
+    def test_configure_idempotent(self):
+        configure_logging(logging.DEBUG)
+        handlers_before = len(logging.getLogger(LOGGER_NAME).handlers)
+        configure_logging(logging.DEBUG)
+        assert len(logging.getLogger(LOGGER_NAME).handlers) == handlers_before
+
+    def test_configure_sets_level(self):
+        configure_logging(logging.WARNING)
+        assert logging.getLogger(LOGGER_NAME).level == logging.WARNING

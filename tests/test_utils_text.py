@@ -1,0 +1,76 @@
+"""Tests of the text normalisation helpers."""
+
+from repro.utils.text import (
+    STOPWORDS,
+    is_numeric_token,
+    normalize_text,
+    strip_accents,
+    strip_punctuation,
+)
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("HeLLo World") == "hello world"
+
+    def test_strips_punctuation(self):
+        assert normalize_text("meta-blocking, done!") == "meta blocking done"
+
+    def test_collapses_whitespace(self):
+        assert normalize_text("  a \t b \n c  ") == "a b c"
+
+    def test_empty_string(self):
+        assert normalize_text("") == ""
+
+    def test_none_like_empty(self):
+        assert normalize_text("   ") == ""
+
+    def test_idempotent(self):
+        once = normalize_text("SparkER: Parallel BLAST!")
+        assert normalize_text(once) == once
+
+    def test_accents_removed(self):
+        assert normalize_text("café Müller") == "cafe muller"
+
+    def test_numbers_preserved(self):
+        assert normalize_text("Price: 12.99 USD") == "price 12 99 usd"
+
+    def test_non_string_input_coerced(self):
+        assert normalize_text(2017) == "2017"
+
+
+class TestStripHelpers:
+    def test_strip_punctuation_replaces_with_space(self):
+        assert strip_punctuation("a.b,c") == "a b c"
+
+    def test_strip_accents(self):
+        assert strip_accents("résumé") == "resume"
+
+    def test_strip_accents_no_change(self):
+        assert strip_accents("plain") == "plain"
+
+
+class TestNumericToken:
+    def test_integer(self):
+        assert is_numeric_token("42")
+
+    def test_decimal(self):
+        assert is_numeric_token("12.99")
+
+    def test_word(self):
+        assert not is_numeric_token("sony")
+
+    def test_mixed(self):
+        assert not is_numeric_token("mp3")
+
+    def test_empty(self):
+        assert not is_numeric_token("")
+
+
+class TestStopwords:
+    def test_common_words_present(self):
+        assert "the" in STOPWORDS
+        assert "and" in STOPWORDS
+
+    def test_content_words_absent(self):
+        assert "camera" not in STOPWORDS

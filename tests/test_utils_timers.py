@@ -1,0 +1,43 @@
+"""Tests of the timing helpers."""
+
+from repro.utils.timers import StageTimings, Timer
+
+
+class TestTimer:
+    def test_elapsed_non_negative(self):
+        with Timer() as timer:
+            sum(range(100))
+        assert timer.elapsed >= 0.0
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestStageTimings:
+    def test_record_accumulates(self):
+        timings = StageTimings()
+        timings.record("blocking", 1.0)
+        timings.record("blocking", 2.0)
+        assert timings.durations["blocking"] == 3.0
+
+    def test_total(self):
+        timings = StageTimings()
+        timings.record("a", 1.0)
+        timings.record("b", 2.0)
+        assert timings.total == 3.0
+
+    def test_time_context_manager(self):
+        timings = StageTimings()
+        with timings.time("stage"):
+            sum(range(1000))
+        assert timings.durations["stage"] >= 0.0
+
+    def test_as_dict_copy(self):
+        timings = StageTimings()
+        timings.record("a", 1.0)
+        copy = timings.as_dict()
+        copy["a"] = 99.0
+        assert timings.durations["a"] == 1.0
+
+    def test_empty_total(self):
+        assert StageTimings().total == 0.0

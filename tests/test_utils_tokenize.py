@@ -1,0 +1,74 @@
+"""Tests of tokenization."""
+
+import pytest
+
+from repro.utils.tokenize import character_ngrams, ngrams, token_set, tokenize, tokenize_profile
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Sony HD camcorder") == ["sony", "hd", "camcorder"]
+
+    def test_punctuation_becomes_separator(self):
+        assert tokenize("meta-blocking") == ["meta", "blocking"]
+
+    def test_min_length_filters(self):
+        assert tokenize("a bb ccc", min_length=2) == ["bb", "ccc"]
+
+    def test_stopword_removal(self):
+        assert tokenize("the sony camera", remove_stopwords=True) == ["sony", "camera"]
+
+    def test_stopwords_kept_by_default(self):
+        assert "the" in tokenize("the sony camera")
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+    def test_token_set_is_set(self):
+        assert token_set("sony sony camera") == {"sony", "camera"}
+
+
+class TestTokenizeProfile:
+    def test_pairs_preserve_attribute(self):
+        pairs = tokenize_profile([("name", "Sony TV"), ("price", "99")])
+        assert ("name", "sony") in pairs
+        assert ("name", "tv") in pairs
+        assert ("price", "99") in pairs
+
+    def test_empty_values_skipped(self):
+        assert tokenize_profile([("name", "")]) == []
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_larger_than_input(self):
+        assert list(ngrams(["a"], 3)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+
+class TestCharacterNgrams:
+    def test_trigrams(self):
+        assert character_ngrams("sony", 3) == ["son", "ony"]
+
+    def test_short_string(self):
+        assert character_ngrams("so", 3) == ["so"]
+
+    def test_empty_string(self):
+        assert character_ngrams("", 3) == []
+
+    def test_padding(self):
+        grams = character_ngrams("ab", 3, pad=True)
+        assert grams[0].startswith("#")
+        assert grams[-1].endswith("#")
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            character_ngrams("abc", 0)
+
+    def test_normalisation_applied(self):
+        assert character_ngrams("AB-C", 2) == ["ab", "b ", " c"]
