@@ -44,6 +44,7 @@ def test_scale_partition_sweep(benchmark, abt_buy_large, partitions):
             "partitions": partitions,
             "tasks": context.scheduler.total_tasks,
             "shuffle_records": context.scheduler.total_shuffle_records,
+            "fused_narrow": context.scheduler.total_fused_stages,
             "max_stage_skew": round(max((s.skew for s in stages), default=0.0), 3),
             "candidate_pairs": result.num_candidates,
         }
@@ -51,6 +52,29 @@ def test_scale_partition_sweep(benchmark, abt_buy_large, partitions):
     row = benchmark(run)
     print_rows(f"SCALE parallel meta-blocking, {partitions} partitions", [row])
     assert row["candidate_pairs"] > 0
+
+
+def test_scale_stage_breakdown(benchmark, abt_buy_large):
+    """Per-stage record/shuffle counters of one broadcast-join WNP run.
+
+    The broadcast-join structure shows up directly in the counters: the
+    weighting stage emits each edge exactly once with zero shuffle (the CSR
+    index travels by broadcast), and only the node-pruning votes cross a
+    shuffle boundary.
+    """
+    blocks = _prepared_blocks(abt_buy_large)
+
+    def run():
+        context = EngineContext(default_parallelism=8)
+        ParallelMetaBlocker(context, "cbs", "wnp").run(blocks)
+        return context.scheduler.stage_table()
+
+    table = benchmark(run)
+    print_rows("SCALE per-stage counters (WNP, 8 partitions)", table)
+    weight_stages = [r for r in table if "metablocking.weights" in str(r["description"])]
+    assert weight_stages, "the edge-weighting stage must appear in the stage table"
+    # Each edge is emitted from its lower endpoint only: no weighting shuffle.
+    assert all(r["shuffle_write"] == 0 for r in weight_stages)
 
 
 def test_scale_parallel_equals_sequential(benchmark, abt_buy_large):

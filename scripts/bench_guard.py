@@ -1,0 +1,77 @@
+"""Perf-regression guard for the meta-blocking kernel.
+
+Re-runs ``benchmarks/bench_metablocking_kernel.py`` at its smallest size and
+compares the measured kernel *speedups* (legacy time / kernel time, a ratio
+that is largely machine-independent) against the committed
+``BENCH_metablocking.json`` baseline.  The guard fails when any tracked path
+(neighbourhood weighing, WNP, CNP) regresses by more than the tolerance —
+i.e. retains less than ``1 - tolerance`` of the baseline speedup.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_guard.py
+    PYTHONPATH=src python scripts/bench_guard.py --tolerance 0.2
+
+Also wired as an opt-in pytest marker::
+
+    PYTHONPATH=src python -m pytest tests/test_bench_guard.py --bench-guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_metablocking.json"
+TRACKED_PATHS = ("neighbourhood", "wnp", "cnp")
+
+
+def check_against_baseline(tolerance: float = 0.2, baseline_path: Path = BASELINE_PATH) -> list[str]:
+    """Run the guard; return a list of failure messages (empty = pass)."""
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_metablocking_kernel import run_benchmark
+
+    baseline = json.loads(baseline_path.read_text())
+    baseline_entry = baseline["entries"][0]
+    guard_size = baseline_entry["num_entities"]
+
+    current_entry = run_benchmark(sizes=[guard_size])[0]
+
+    failures: list[str] = []
+    for path in TRACKED_PATHS:
+        expected = baseline_entry[path]["speedup"]
+        measured = current_entry[path]["speedup"]
+        floor = expected * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{path}: kernel speedup regressed to {measured:.1f}x "
+                f"(baseline {expected:.1f}x, floor {floor:.1f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional speedup regression (default 0.2 = 20%%)",
+    )
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
+    args = parser.parse_args(argv)
+
+    failures = check_against_baseline(args.tolerance, args.baseline)
+    if failures:
+        for failure in failures:
+            print(f"BENCH GUARD FAIL — {failure}", file=sys.stderr)
+        return 1
+    print("bench guard ok: kernel speedups within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

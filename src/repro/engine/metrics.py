@@ -26,15 +26,25 @@ class TaskMetrics:
 
 @dataclass
 class StageMetrics:
-    """Aggregated metrics of a stage (one task per partition)."""
+    """Aggregated metrics of a stage (one task per partition).
+
+    ``fused_stages`` counts how many logical narrow transformations executed
+    inside this physical stage (pipelined narrow-stage fusion); 1 means the
+    stage ran a single transformation.
+    """
 
     stage_id: int
     description: str
     tasks: list[TaskMetrics] = field(default_factory=list)
+    fused_stages: int = 1
 
     @property
     def num_tasks(self) -> int:
         return len(self.tasks)
+
+    @property
+    def total_elapsed(self) -> float:
+        return sum(t.elapsed_seconds for t in self.tasks)
 
     @property
     def total_input_records(self) -> int:

@@ -4,7 +4,11 @@ The RDD implements the subset of the Spark RDD API that SparkER's algorithms
 use.  Transformations build a lineage graph; nothing executes until an action
 (``collect``, ``count``, ``reduce`` ...) is called.  Materialised partitions
 are memoised on the RDD, which mirrors Spark's ``cache()`` and keeps repeated
-actions cheap (every dataset in this reproduction fits in memory).
+actions cheap (every dataset in this reproduction fits in memory).  Chains of
+narrow transformations are *fused* at compute time, so only RDDs that were
+explicitly ``cache()``d or already materialised by an action act as
+memoisation barriers: an intermediate narrow RDD shared by two lineages is
+recomputed per action unless cached — the same contract Spark has.
 
 Narrow transformations (``map``, ``filter`` ...) run partition-by-partition
 without moving data.  Wide transformations (``reduceByKey``, ``groupByKey``,
@@ -58,7 +62,9 @@ class RDD:
             start = time.perf_counter()
             partitions = self._compute()
             elapsed = time.perf_counter() - start
-            stage = self.context.scheduler.new_stage(self.name)
+            stage = self.context.scheduler.new_stage(
+                self.name, fused_stages=getattr(self, "_fused_stages", 1)
+            )
             per_task = elapsed / max(len(partitions), 1)
             for index, partition in enumerate(partitions):
                 self.context.scheduler.record_task(
@@ -408,7 +414,15 @@ class ParallelCollectionRDD(RDD):
 
 
 class MappedPartitionsRDD(RDD):
-    """Narrow transformation: apply a function to each parent partition."""
+    """Narrow transformation: apply a function to each parent partition.
+
+    At compute time, consecutive unmaterialised narrow transformations are
+    *fused* into one physical stage: the chain of per-partition functions is
+    composed and pipelined over the source partitions without materialising
+    any intermediate list, mirroring Spark's pipelined narrow stages.  A
+    parent that is already materialised (via ``cache()`` or a prior action)
+    acts as a fusion barrier and is reused as-is.
+    """
 
     def __init__(
         self,
@@ -419,12 +433,28 @@ class MappedPartitionsRDD(RDD):
         super().__init__(parent.context, parent.num_partitions, name)
         self._parent = parent
         self._func = func
+        self._fused_stages = 1
+
+    def _fused_chain(self) -> tuple[RDD, list[Callable[[int, Iterator[Any]], Iterable[Any]]]]:
+        """Walk up the lineage collecting the fusable narrow-function chain."""
+        funcs = [self._func]
+        node = self._parent
+        while isinstance(node, MappedPartitionsRDD) and node._materialized is None:
+            funcs.append(node._func)
+            node = node._parent
+        funcs.reverse()
+        return node, funcs
 
     def _compute(self) -> list[list[Any]]:
-        return [
-            list(self._func(index, iter(partition)))
-            for index, partition in enumerate(self._parent.partitions())
-        ]
+        source, funcs = self._fused_chain()
+        self._fused_stages = len(funcs)
+        result: list[list[Any]] = []
+        for index, partition in enumerate(source.partitions()):
+            rows: Iterable[Any] = iter(partition)
+            for func in funcs:
+                rows = func(index, rows)
+            result.append(list(rows))
+        return result
 
 
 class UnionRDD(RDD):

@@ -36,9 +36,17 @@ class Scheduler:
         self._current_job = None
 
     # -- stages -------------------------------------------------------------
-    def new_stage(self, description: str) -> StageMetrics:
-        """Create a new stage and attach it to the open job (if any)."""
-        stage = StageMetrics(stage_id=self._next_stage_id, description=description)
+    def new_stage(self, description: str, *, fused_stages: int = 1) -> StageMetrics:
+        """Create a new stage and attach it to the open job (if any).
+
+        ``fused_stages`` records how many logical narrow transformations the
+        stage pipelines (see :class:`~repro.engine.metrics.StageMetrics`).
+        """
+        stage = StageMetrics(
+            stage_id=self._next_stage_id,
+            description=description,
+            fused_stages=fused_stages,
+        )
         self._next_stage_id += 1
         self.stages.append(stage)
         if self._current_job is not None:
@@ -77,6 +85,38 @@ class Scheduler:
     @property
     def total_shuffle_records(self) -> int:
         return sum(stage.total_shuffle_write for stage in self.stages)
+
+    @property
+    def total_output_records(self) -> int:
+        return sum(stage.total_output_records for stage in self.stages)
+
+    @property
+    def total_fused_stages(self) -> int:
+        """Logical narrow transformations absorbed into wider physical stages."""
+        return sum(max(0, stage.fused_stages - 1) for stage in self.stages)
+
+    def stage_table(self) -> list[dict[str, object]]:
+        """Per-stage record/shuffle counters, one row per executed stage.
+
+        This is what the scalability benchmarks print: it shows where records
+        are produced, how much of the pipeline was fused into each physical
+        stage, and how much data crossed a shuffle boundary.
+        """
+        return [
+            {
+                "stage": stage.stage_id,
+                "description": stage.description,
+                "tasks": stage.num_tasks,
+                "fused": stage.fused_stages,
+                "records_in": stage.total_input_records,
+                "records_out": stage.total_output_records,
+                "shuffle_read": stage.total_shuffle_read,
+                "shuffle_write": stage.total_shuffle_write,
+                "elapsed_s": round(stage.total_elapsed, 6),
+                "skew": round(stage.skew, 3),
+            }
+            for stage in self.stages
+        ]
 
     def reset(self) -> None:
         """Forget all recorded jobs and stages (keeps id counters monotonic)."""

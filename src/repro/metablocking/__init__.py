@@ -1,6 +1,7 @@
 """Meta-blocking: blocking graph, edge weighting, pruning, entropy re-weighting."""
 
 from repro.metablocking.graph import BlockingGraph, EdgeInfo, build_blocking_graph
+from repro.metablocking.index import CSRBlockIndex, NeighbourhoodKernel
 from repro.metablocking.weights import WeightingScheme, compute_edge_weight
 from repro.metablocking.pruning import (
     PruningStrategy,
@@ -18,6 +19,8 @@ __all__ = [
     "BlockingGraph",
     "EdgeInfo",
     "build_blocking_graph",
+    "CSRBlockIndex",
+    "NeighbourhoodKernel",
     "WeightingScheme",
     "compute_edge_weight",
     "PruningStrategy",

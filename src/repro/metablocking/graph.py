@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.blocking.block import BlockCollection
 from repro.data.ground_truth import canonical_pair
+from repro.metablocking.index import CSRBlockIndex
 
 
 @dataclass
@@ -47,6 +48,10 @@ class BlockingGraph:
     blocks_per_profile: dict[int, int] = field(default_factory=dict)
     num_blocks: int = 0
     clean_clean: bool = False
+    _adjacency: dict[int, list[tuple[int, EdgeInfo]]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _adjacency_edges: int = field(default=-1, init=False, repr=False, compare=False)
 
     @property
     def num_edges(self) -> int:
@@ -61,14 +66,26 @@ class BlockingGraph:
         return set(self.blocks_per_profile)
 
     def neighbors(self, profile_id: int) -> dict[int, EdgeInfo]:
-        """Return neighbour → edge info of ``profile_id`` (materialised lazily)."""
-        result: dict[int, EdgeInfo] = {}
-        for (a, b), info in self.edges.items():
-            if a == profile_id:
-                result[b] = info
-            elif b == profile_id:
-                result[a] = info
-        return result
+        """Return neighbour → edge info of ``profile_id``.
+
+        Served from a cached adjacency index (rebuilt if the edge count
+        changed) instead of scanning every edge per lookup.
+        """
+        return dict(self._adjacency_index().get(profile_id, ()))
+
+    def degrees(self) -> dict[int, int]:
+        """Blocking-graph degree of every node that has at least one edge."""
+        counts: dict[int, int] = {}
+        for a, b in self.edges:
+            counts[a] = counts.get(a, 0) + 1
+            counts[b] = counts.get(b, 0) + 1
+        return counts
+
+    def _adjacency_index(self) -> dict[int, list[tuple[int, EdgeInfo]]]:
+        if self._adjacency is None or self._adjacency_edges != len(self.edges):
+            self._adjacency = self.adjacency()
+            self._adjacency_edges = len(self.edges)
+        return self._adjacency
 
     def edge(self, a: int, b: int) -> EdgeInfo | None:
         """Return the edge info of pair (a, b), or None if not adjacent."""
@@ -88,28 +105,41 @@ class BlockingGraph:
 def build_blocking_graph(blocks: BlockCollection) -> BlockingGraph:
     """Materialise the blocking graph of ``blocks``.
 
-    Every comparison of every block contributes to the edge of its pair; the
-    contribution records the block's comparison cardinality (for ARCS) and its
-    entropy (for BLAST).
+    Runs on the CSR :class:`~repro.metablocking.index.NeighbourhoodKernel` —
+    the same kernel the parallel meta-blocker broadcasts — materialising each
+    node's neighbourhood exactly once and inserting every edge from its lower
+    endpoint.  Each edge carries the block-comparison cardinality sum (ARCS)
+    and entropy sum (BLAST) accumulated in ascending block order, identical to
+    the parallel path's accumulation.
     """
-    graph = BlockingGraph(clean_clean=blocks.clean_clean, num_blocks=len(blocks))
+    index = CSRBlockIndex.from_blocks(blocks)
+    return blocking_graph_from_index(
+        index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
+    )
 
-    for block in blocks:
-        cardinality = block.num_comparisons()
-        if cardinality == 0:
-            continue
-        for profile_id in block.all_profiles():
-            graph.blocks_per_profile[profile_id] = (
-                graph.blocks_per_profile.get(profile_id, 0) + 1
+
+def blocking_graph_from_index(
+    index: CSRBlockIndex, *, clean_clean: bool, num_blocks: int
+) -> BlockingGraph:
+    """Materialise a :class:`BlockingGraph` from a prebuilt CSR index."""
+    graph = BlockingGraph(clean_clean=clean_clean, num_blocks=num_blocks)
+    node_ids = index.node_ids
+    graph.blocks_per_profile = {
+        profile_id: index.node_block_count[dense]
+        for dense, profile_id in enumerate(node_ids)
+    }
+
+    kernel = index.kernel()
+    edges = graph.edges
+    common, arcs, entropy = kernel.common_blocks, kernel.arcs, kernel.entropy_sum
+    for node in range(index.num_nodes):
+        profile_a = node_ids[node]
+        for other in kernel.neighbours(node):
+            if other <= node:
+                continue
+            edges[(profile_a, node_ids[other])] = EdgeInfo(
+                common_blocks=common[other],
+                arcs=arcs[other],
+                entropy_sum=entropy[other],
             )
-        for a, b in block.comparisons():
-            key = canonical_pair(a, b)
-            info = graph.edges.get(key)
-            if info is None:
-                info = EdgeInfo()
-                graph.edges[key] = info
-            info.common_blocks += 1
-            info.arcs += 1.0 / cardinality
-            info.entropy_sum += block.entropy
-
     return graph

@@ -1,0 +1,264 @@
+"""CSR-backed block index — the broadcast payload of the meta-blocking join.
+
+The paper's parallel meta-blocking never materialises the blocking graph as an
+edge list: each task receives a compact block index and materialises one node
+neighbourhood at a time.  This module is the compact index, stored as
+contiguous offset arrays (CSR style, stdlib :mod:`array` only):
+
+* ``node_block_offsets`` / ``node_block_entries`` — the blocks of each node
+  (profile → blocks), with the node's source side encoded in the entry so no
+  membership scan is ever needed to orient a clean-clean block;
+* ``block_offsets`` / ``block_nodes`` / ``block_split`` — the members of each
+  block (block → profiles), source-0 members first;
+* ``block_inv_cardinality`` / ``block_entropy`` — per-block ``1/||b||`` (ARCS)
+  and entropy (BLAST), precomputed once;
+* a lazily computed, cached degree vector, so weighting schemes that need the
+  neighbour's degree (EJS) or the total edge count read a vector entry instead
+  of re-materialising the neighbour's full neighbourhood per edge.
+
+Node ids are dense (0..n-1) and order-isomorphic to the profile ids
+(``node_ids`` is sorted), so canonical pair ordering carries over.
+
+The :class:`NeighbourhoodKernel` materialises neighbourhoods into reusable
+scratch buffers: per-node accumulators for shared-block count (CBS), summed
+reciprocal cardinalities (ARCS) and summed entropies (BLAST), reset in
+O(|neighbourhood|) via a touched list.  Both the sequential
+:func:`~repro.metablocking.graph.build_blocking_graph` and the parallel
+:class:`~repro.metablocking.parallel.ParallelMetaBlocker` run on this kernel,
+which is what guarantees their bit-for-bit output equivalence: identical
+accumulation order yields identical floats.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.blocking.block import BlockCollection
+
+
+class CSRBlockIndex:
+    """Array-backed block index shared by the sequential and parallel paths.
+
+    Build with :meth:`from_blocks`; the constructor only wires pre-built
+    arrays together.
+    """
+
+    __slots__ = (
+        "node_ids",
+        "node_of",
+        "node_block_offsets",
+        "node_block_entries",
+        "node_block_count",
+        "block_offsets",
+        "block_nodes",
+        "block_split",
+        "block_cardinality",
+        "block_inv_cardinality",
+        "block_entropy",
+        "total_blocks",
+        "clean_clean",
+        "_kernel",
+        "_degrees",
+        "_num_edges",
+    )
+
+    def __init__(self) -> None:
+        self.node_ids: list[int] = []
+        self.node_of: dict[int, int] = {}
+        self.node_block_offsets = array("q", [0])
+        self.node_block_entries = array("q")
+        self.node_block_count = array("q")
+        self.block_offsets = array("q", [0])
+        self.block_nodes = array("q")
+        # Source-0 member count for clean-clean blocks; -1 marks a dirty block
+        # whose comparisons pair the member list with itself.
+        self.block_split = array("q")
+        self.block_cardinality = array("q")
+        self.block_inv_cardinality = array("d")
+        self.block_entropy = array("d")
+        self.total_blocks = 0
+        self.clean_clean = False
+        self._kernel: "NeighbourhoodKernel | None" = None
+        self._degrees: array | None = None
+        self._num_edges: int | None = None
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_blocks(cls, blocks: BlockCollection) -> "CSRBlockIndex":
+        """Build the index from a block collection (one pass over the blocks).
+
+        Blocks that induce no comparison are skipped, exactly like the
+        sequential graph builder; ``total_blocks`` still counts them because
+        ECBS normalises by the raw collection size.
+        """
+        index = cls()
+        index.clean_clean = blocks.clean_clean
+        index.total_blocks = len(blocks)
+
+        valid: list[tuple[list[int], list[int], int, float, bool]] = []
+        node_of = index.node_of
+        for block in blocks:
+            cardinality = block.num_comparisons()
+            if cardinality == 0:
+                continue
+            members0 = sorted(block.profiles_source0)
+            members1 = sorted(block.profiles_source1)
+            valid.append(
+                (members0, members1, cardinality, block.entropy, block.is_clean_clean)
+            )
+            for profile_id in members0:
+                node_of.setdefault(profile_id, -1)
+            for profile_id in members1:
+                node_of.setdefault(profile_id, -1)
+
+        index.node_ids = sorted(node_of)
+        for dense, profile_id in enumerate(index.node_ids):
+            node_of[profile_id] = dense
+        n = len(index.node_ids)
+
+        per_node_entries: list[list[int]] = [[] for _ in range(n)]
+        block_counts = array("q", bytes(8 * n))
+        for block_id, (members0, members1, cardinality, entropy, clean) in enumerate(valid):
+            index.block_split.append(len(members0) if clean else -1)
+            index.block_cardinality.append(cardinality)
+            index.block_inv_cardinality.append(1.0 / cardinality)
+            index.block_entropy.append(entropy)
+            for profile_id in members0:
+                dense = node_of[profile_id]
+                per_node_entries[dense].append(block_id * 2)
+                index.block_nodes.append(dense)
+            for profile_id in members1:
+                dense = node_of[profile_id]
+                per_node_entries[dense].append(block_id * 2 + 1)
+                index.block_nodes.append(dense)
+            index.block_offsets.append(len(index.block_nodes))
+            # Count distinct membership (a node sitting on both sides of one
+            # block — degenerate but possible — still counts the block once).
+            seen_twice = set(members0) & set(members1)
+            for profile_id in members0:
+                block_counts[node_of[profile_id]] += 1
+            for profile_id in members1:
+                if profile_id not in seen_twice:
+                    block_counts[node_of[profile_id]] += 1
+
+        for entries in per_node_entries:
+            index.node_block_entries.extend(entries)
+            index.node_block_offsets.append(len(index.node_block_entries))
+        index.node_block_count = block_counts
+        return index
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of comparison-inducing blocks kept in the index."""
+        return len(self.block_split)
+
+    # ----------------------------------------------------------------- kernel
+    def kernel(self) -> "NeighbourhoodKernel":
+        """The (cached) scratch-buffer kernel bound to this index.
+
+        The mini engine runs every task in one process, so the single cached
+        kernel is shared by all partitions; tasks materialise neighbourhoods
+        strictly one at a time.
+        """
+        if self._kernel is None:
+            self._kernel = NeighbourhoodKernel(self)
+        return self._kernel
+
+    def degree_vector(self) -> array:
+        """Per-node blocking-graph degree, computed once and cached.
+
+        One kernel sweep over all nodes; every later degree lookup — EJS's
+        ``degree_b`` per neighbour, the global edge count — is O(1).
+
+        The sweep runs on a private kernel, never the shared one: a caller
+        holding live :meth:`NeighbourhoodKernel.neighbours` results must not
+        have its scratch buffers clobbered by a lazy degree computation.
+        """
+        if self._degrees is None:
+            kernel = NeighbourhoodKernel(self)
+            degrees = array("q", bytes(8 * self.num_nodes))
+            for node in range(self.num_nodes):
+                degrees[node] = len(kernel.neighbours(node))
+            self._degrees = degrees
+        return self._degrees
+
+    def num_edges(self) -> int:
+        """Number of distinct blocking-graph edges (from the degree vector)."""
+        if self._num_edges is None:
+            self._num_edges = sum(self.degree_vector()) // 2
+        return self._num_edges
+
+
+class NeighbourhoodKernel:
+    """Materialise one node neighbourhood at a time into reusable buffers.
+
+    After :meth:`neighbours` returns, the per-neighbour aggregates sit in
+    ``common_blocks`` / ``arcs`` / ``entropy_sum`` indexed by dense node id;
+    they stay valid until the next :meth:`neighbours` call, which resets only
+    the previously touched entries.
+    """
+
+    __slots__ = ("_index", "common_blocks", "arcs", "entropy_sum", "_touched")
+
+    def __init__(self, index: CSRBlockIndex) -> None:
+        n = index.num_nodes
+        self._index = index
+        self.common_blocks = [0] * n
+        self.arcs = [0.0] * n
+        self.entropy_sum = [0.0] * n
+        self._touched: list[int] = []
+
+    def neighbours(self, node: int) -> list[int]:
+        """Fill the scratch buffers for ``node``; return its neighbour list.
+
+        Neighbours appear in first-touch order (ascending block id, member
+        order within a block) — the accumulation order is therefore identical
+        no matter which code path drives the kernel, keeping float sums
+        bit-for-bit reproducible.
+        """
+        index = self._index
+        common, arcs, entropy = self.common_blocks, self.arcs, self.entropy_sum
+        touched = self._touched
+        for previous in touched:
+            common[previous] = 0
+            arcs[previous] = 0.0
+            entropy[previous] = 0.0
+        del touched[:]
+
+        entries = index.node_block_entries
+        block_offsets = index.block_offsets
+        block_nodes = index.block_nodes
+        block_split = index.block_split
+        inv_cardinality = index.block_inv_cardinality
+        block_entropy = index.block_entropy
+        start = index.node_block_offsets[node]
+        end = index.node_block_offsets[node + 1]
+        for position in range(start, end):
+            entry = entries[position]
+            block = entry >> 1
+            split = block_split[block]
+            lo = block_offsets[block]
+            hi = block_offsets[block + 1]
+            if split >= 0:
+                # Clean-clean block: neighbours are the members of the other
+                # source; the entry's low bit says which side this node is on.
+                if entry & 1:
+                    hi = lo + split
+                else:
+                    lo = lo + split
+            inv = inv_cardinality[block]
+            block_ent = block_entropy[block]
+            for other in block_nodes[lo:hi]:
+                if other == node:
+                    continue
+                if common[other] == 0:
+                    touched.append(other)
+                common[other] += 1
+                arcs[other] += inv
+                entropy[other] += block_ent
+        return touched

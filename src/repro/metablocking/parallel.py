@@ -7,24 +7,28 @@ block index) is broadcast to every partition; each task then materialises one
 node neighbourhood at a time, computes the edge weights and applies the
 pruning function locally.
 
-This module reproduces that structure:
+This module reproduces that structure on the CSR-backed
+:class:`~repro.metablocking.index.CSRBlockIndex`:
 
-1. A compact, serialisable block index (:class:`CompactBlockIndex`) is built
-   from the block collection and shipped via
+1. The CSR index — offset arrays, per-block cardinality/entropy vectors and a
+   precomputed degree vector — is built once and shipped via
    :meth:`repro.engine.context.EngineContext.broadcast`.
 2. The profile ids are parallelised into an RDD and processed partition by
-   partition; every task materialises the neighbourhoods of its nodes from the
-   broadcast index only.
-3. Node-level pruning decisions are combined through a ``reduceByKey`` so that
+   partition; every task materialises the neighbourhoods of its nodes through
+   the index's scratch-buffer kernel, **exactly once per job**.  Each edge is
+   emitted from its lower endpoint only, so no dedup shuffle is needed, and
+   degree lookups (EJS) read the broadcast degree vector instead of
+   re-materialising the neighbour's neighbourhood per edge.
+3. For the node-centric strategies (WNP / CNP) a per-node incident-edge
+   adjacency index is built once from the weighted edges and broadcast;
+   per-node pruning decisions are combined through a ``reduceByKey`` so that
    OR / AND (reciprocal) semantics match the sequential
    :class:`~repro.metablocking.metablocker.MetaBlocker` exactly.
 
-For the global strategies (WEP / CEP) a first distributed pass computes the
-edge weights and the global statistic (mean weight / top-K cut), and a second
-pass filters — the same two-job structure the Spark implementation uses.
-
-The output is guaranteed to equal the sequential meta-blocker's output; the
-test-suite asserts this equivalence property on random datasets.
+The sequential meta-blocker's graph builder runs on the *same* kernel, with
+the same per-edge accumulation order, so the output (retained edges and their
+float weights) is equal bit-for-bit; the test-suite asserts this equivalence
+across the full weighting × pruning × entropy grid.
 """
 
 from __future__ import annotations
@@ -34,6 +38,8 @@ from dataclasses import dataclass, field
 from repro.blocking.block import BlockCollection
 from repro.engine.context import EngineContext
 from repro.exceptions import MetaBlockingError
+from repro.metablocking.graph import EdgeInfo
+from repro.metablocking.index import CSRBlockIndex
 from repro.metablocking.metablocker import MetaBlockingResult
 from repro.metablocking.pruning import (
     CardinalityEdgePruning,
@@ -44,17 +50,23 @@ from repro.metablocking.pruning import (
     make_pruning_strategy,
 )
 from repro.metablocking.weights import WeightingScheme, compute_edge_weight
-from repro.metablocking.graph import EdgeInfo
 
 
 @dataclass
 class CompactBlockIndex:
-    """The broadcastable view of a block collection.
+    """The dict-of-tuples view of a block collection (legacy index).
+
+    Superseded by :class:`~repro.metablocking.index.CSRBlockIndex` on the hot
+    path; kept because its per-call materialisation is the reference point of
+    ``benchmarks/bench_metablocking_kernel.py`` and a convenient introspection
+    structure.
 
     ``profile_blocks`` maps each profile id to the ids of the blocks that
     contain it; ``block_members`` maps each block id to its two member-id
     tuples (source 0, source 1); ``block_cardinality`` and ``block_entropy``
-    carry the per-block comparison count and entropy.
+    carry the per-block comparison count and entropy; ``profile_source``
+    records each profile's source side once, so neighbourhood materialisation
+    never scans a member tuple for the profile.
     """
 
     profile_blocks: dict[int, list[int]] = field(default_factory=dict)
@@ -63,6 +75,7 @@ class CompactBlockIndex:
     )
     block_cardinality: dict[int, int] = field(default_factory=dict)
     block_entropy: dict[int, float] = field(default_factory=dict)
+    profile_source: dict[int, int] = field(default_factory=dict)
     clean_clean: bool = False
 
     @classmethod
@@ -79,6 +92,10 @@ class CompactBlockIndex:
             )
             index.block_cardinality[block_id] = cardinality
             index.block_entropy[block_id] = block.entropy
+            for profile_id in block.profiles_source0:
+                index.profile_source[profile_id] = 0
+            for profile_id in block.profiles_source1:
+                index.profile_source.setdefault(profile_id, 1)
             for profile_id in block.all_profiles():
                 index.profile_blocks.setdefault(profile_id, []).append(block_id)
         return index
@@ -97,9 +114,7 @@ class CompactBlockIndex:
         For clean-clean collections only cross-source neighbours are produced;
         for dirty collections every co-occurring profile is a neighbour.
         """
-        source0_here = any(
-            profile_id in self.block_members[b][0] for b in self.blocks_of(profile_id)
-        )
+        source0_here = self.profile_source.get(profile_id, 0) == 0
         neighbours: dict[int, EdgeInfo] = {}
         for block_id in self.blocks_of(profile_id):
             members0, members1 = self.block_members[block_id]
@@ -120,6 +135,19 @@ class CompactBlockIndex:
                 info.arcs += 1.0 / cardinality
                 info.entropy_sum += entropy
         return neighbours
+
+
+def incident_edge_index(
+    weights: dict[tuple[int, int], float]
+) -> dict[int, list[tuple[tuple[int, int], float]]]:
+    """Group the weighted edges by incident node — built once per job.
+
+    Delegates to the sequential pruning strategies' incidence builder so both
+    paths share one definition of the per-node list order (the order the WNP
+    float sums depend on); the parallel node-pruning tasks then look their
+    node up in O(degree) instead of scanning every edge.
+    """
+    return PruningStrategy._node_incidence(weights)
 
 
 class ParallelMetaBlocker:
@@ -149,11 +177,14 @@ class ParallelMetaBlocker:
     # ------------------------------------------------------------------ public
     def run(self, blocks: BlockCollection) -> MetaBlockingResult:
         """Run the parallel meta-blocking over ``blocks``."""
-        index = CompactBlockIndex.from_blocks(blocks)
-        broadcast = self.context.broadcast(index)
-        node_ids = sorted(index.profile_blocks)
-        if not node_ids:
+        index = CSRBlockIndex.from_blocks(blocks)
+        if index.num_nodes == 0:
             return MetaBlockingResult()
+        # Materialise the degree vector driver-side so the broadcast ships the
+        # index with degrees precomputed (one kernel sweep, reused everywhere).
+        index.degree_vector()
+        broadcast = self.context.broadcast(index)
+        node_ids = list(index.node_ids)
 
         node_rdd = self.context.parallelize(node_ids)
 
@@ -186,99 +217,78 @@ class ParallelMetaBlocker:
     def _edge_weigher(self, broadcast):
         """Return a function node → list of ((a, b), weight) for its edges.
 
-        EJS needs node degrees and the global edge count; those are derived
-        from the broadcast index inside the task, which is exactly the
-        information the broadcast join ships in SparkER.
+        Each task materialises the node's neighbourhood once through the
+        broadcast kernel and emits only the edges whose *lower* endpoint is
+        the node, so every edge is produced exactly once with no dedup
+        shuffle.  EJS reads both endpoints' degrees and the global edge count
+        from the broadcast degree vector — no per-neighbour re-materialisation.
         """
         scheme = self.weighting
         use_entropy = self.use_entropy
+        needs_degrees = scheme is WeightingScheme.EJS
 
-        def weigh(node: int) -> list[tuple[tuple[int, int], float]]:
-            index: CompactBlockIndex = broadcast.value
-            neighbourhood = index.neighbourhood(node)
-            blocks_node = len(index.blocks_of(node))
-            results = []
-            degree_node = len(neighbourhood)
-            for other, info in neighbourhood.items():
+        def weigh(profile_id: int) -> list[tuple[tuple[int, int], float]]:
+            index: CSRBlockIndex = broadcast.value
+            node = index.node_of[profile_id]
+            if needs_degrees:
+                # Resolve degrees before touching the shared kernel: a lazy
+                # degree computation sweeps every node and must not run while
+                # this node's neighbourhood sits in the scratch buffers.
+                degrees = index.degree_vector()
+                degree_node = degrees[node]
+                total_edges = index.num_edges()
+            kernel = index.kernel()
+            touched = kernel.neighbours(node)
+            node_ids = index.node_ids
+            block_counts = index.node_block_count
+            common, arcs, entropy = (
+                kernel.common_blocks,
+                kernel.arcs,
+                kernel.entropy_sum,
+            )
+            total_blocks = index.total_blocks
+            blocks_node = block_counts[node]
+            results: list[tuple[tuple[int, int], float]] = []
+            for other in touched:
+                if other <= node:
+                    continue
+                info = EdgeInfo(
+                    common_blocks=common[other],
+                    arcs=arcs[other],
+                    entropy_sum=entropy[other],
+                )
                 weight = compute_edge_weight(
                     scheme,
                     info,
                     blocks_a=blocks_node,
-                    blocks_b=len(index.blocks_of(other)),
-                    total_blocks=index.num_blocks,
-                    degree_a=degree_node,
-                    degree_b=len(index.neighbourhood(other)),
-                    total_edges=0,  # patched below for EJS
+                    blocks_b=block_counts[other],
+                    total_blocks=total_blocks,
+                    degree_a=degree_node if needs_degrees else 0,
+                    degree_b=degrees[other] if needs_degrees else 0,
+                    total_edges=total_edges if needs_degrees else 0,
                 )
                 if use_entropy:
                     weight *= info.mean_entropy
-                pair = (node, other) if node <= other else (other, node)
-                results.append((pair, weight))
+                results.append(((profile_id, node_ids[other]), weight))
             return results
 
         return weigh
 
     def _all_edge_weights(self, node_rdd, broadcast) -> dict[tuple[int, int], float]:
-        """Distributed computation of every edge weight (each edge from both ends)."""
-        if self.weighting is WeightingScheme.EJS:
-            # EJS needs the global edge count; compute it first (one extra job),
-            # then recompute weights with the correct normalisation driver-side
-            # from the per-edge CBS/degree data. We fall back to materialising
-            # neighbourhoods once per node and fixing the scale afterwards.
-            return self._all_edge_weights_ejs(node_rdd, broadcast)
+        """Distributed computation of every edge weight (one emission per edge).
+
+        The collected dict preserves the node-major, first-touch edge order —
+        the same insertion order the sequential graph builder produces — so
+        every downstream float sum (WEP's global mean, WNP's per-node means)
+        is bit-for-bit identical to the sequential path.
+        """
         weigh = self._edge_weigher(broadcast)
-        pairs = node_rdd.flatMap(weigh, name="metablocking.weights")
-        # Every edge is produced twice (once per endpoint) with the same weight.
-        return pairs.reduceByKey(lambda a, _b: a).collectAsMap()
-
-    def _all_edge_weights_ejs(self, node_rdd, broadcast) -> dict[tuple[int, int], float]:
-        """EJS weights: two passes (degrees + edge count, then weighting)."""
-        use_entropy = self.use_entropy
-
-        def neighbourhood_stats(node: int) -> list[tuple[tuple[int, int], tuple]]:
-            index: CompactBlockIndex = broadcast.value
-            neighbourhood = index.neighbourhood(node)
-            degree = len(neighbourhood)
-            blocks_node = len(index.blocks_of(node))
-            out = []
-            for other, info in neighbourhood.items():
-                pair = (node, other) if node <= other else (other, node)
-                out.append((pair, (node, degree, blocks_node, info.common_blocks,
-                                   info.arcs, info.entropy_sum)))
-            return out
-
-        per_endpoint = node_rdd.flatMap(neighbourhood_stats, name="ejs.stats")
-        grouped = per_endpoint.groupByKey().collectAsMap()
-        total_edges = len(grouped)
-        index: CompactBlockIndex = broadcast.value
-        weights: dict[tuple[int, int], float] = {}
-        for pair, contributions in grouped.items():
-            by_node = {entry[0]: entry for entry in contributions}
-            a, b = pair
-            entry_a = by_node.get(a)
-            entry_b = by_node.get(b)
-            reference = entry_a or entry_b
-            _node, _degree, _blocks, common, arcs, entropy_sum = reference
-            info = EdgeInfo(common_blocks=common, arcs=arcs, entropy_sum=entropy_sum)
-            weight = compute_edge_weight(
-                WeightingScheme.EJS,
-                info,
-                blocks_a=len(index.blocks_of(a)),
-                blocks_b=len(index.blocks_of(b)),
-                total_blocks=index.num_blocks,
-                degree_a=entry_a[1] if entry_a else 0,
-                degree_b=entry_b[1] if entry_b else 0,
-                total_edges=total_edges,
-            )
-            if use_entropy:
-                weight *= info.mean_entropy
-            weights[pair] = weight
-        return weights
+        return node_rdd.flatMap(weigh, name="metablocking.weights").collectAsMap()
 
     def _count_edges(self, node_rdd, broadcast) -> int:
-        def degree(node: int) -> int:
-            index: CompactBlockIndex = broadcast.value
-            return len(index.neighbourhood(node))
+        def degree(profile_id: int) -> int:
+            index: CSRBlockIndex = broadcast.value
+            return index.degree_vector()[index.node_of[profile_id]]
 
         total = node_rdd.map(degree, name="metablocking.degree").sum()
         return total // 2
@@ -298,8 +308,8 @@ class ParallelMetaBlocker:
         pruning: CardinalityEdgePruning = self.pruning  # type: ignore[assignment]
         k = pruning.k
         if k is None:
-            index: CompactBlockIndex = broadcast.value
-            total_assignments = sum(len(v) for v in index.profile_blocks.values())
+            index: CSRBlockIndex = broadcast.value
+            total_assignments = sum(index.node_block_count)
             k = max(1, total_assignments // 2)
         ranked = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
         return dict(ranked[:k])
@@ -310,20 +320,15 @@ class ParallelMetaBlocker:
         weights = self._all_edge_weights(node_rdd, broadcast)
         if not weights:
             return {}
-        weights_broadcast = self.context.broadcast(weights)
+        incidence_broadcast = self.context.broadcast(incident_edge_index(weights))
         reciprocal = pruning.reciprocal
 
         def retain(node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
-            all_weights: dict[tuple[int, int], float] = weights_broadcast.value
-            incident = [
-                (pair, w) for pair, w in all_weights.items() if node in pair
-            ]
+            incident = incidence_broadcast.value.get(node)
             if not incident:
                 return []
             threshold = sum(w for _p, w in incident) / len(incident)
-            return [
-                (pair, (w, 1)) for pair, w in incident if w >= threshold
-            ]
+            return [(pair, (w, 1)) for pair, w in incident if w >= threshold]
 
         votes = (
             node_rdd.flatMap(retain, name="wnp.votes")
@@ -339,19 +344,18 @@ class ParallelMetaBlocker:
         weights = self._all_edge_weights(node_rdd, broadcast)
         if not weights:
             return {}
-        index: CompactBlockIndex = broadcast.value
+        index: CSRBlockIndex = broadcast.value
         k = pruning.k
         if k is None:
-            num_profiles = max(1, len(index.profile_blocks))
-            total_assignments = sum(len(v) for v in index.profile_blocks.values())
+            num_profiles = max(1, index.num_nodes)
+            total_assignments = sum(index.node_block_count)
             k = max(1, total_assignments // num_profiles - 1)
-        weights_broadcast = self.context.broadcast(weights)
+        incidence_broadcast = self.context.broadcast(incident_edge_index(weights))
 
         def retain(node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
-            all_weights: dict[tuple[int, int], float] = weights_broadcast.value
-            incident = [
-                (pair, w) for pair, w in all_weights.items() if node in pair
-            ]
+            incident = incidence_broadcast.value.get(node)
+            if not incident:
+                return []
             ranked = sorted(incident, key=lambda item: (-item[1], item[0]))
             return [(pair, (w, 1)) for pair, w in ranked[:k]]
 

@@ -110,9 +110,7 @@ def weight_all_edges(
     scheme = WeightingScheme.parse(scheme)
     degrees: dict[int, int] = {}
     if scheme is WeightingScheme.EJS:
-        for a, b in graph.edges:
-            degrees[a] = degrees.get(a, 0) + 1
-            degrees[b] = degrees.get(b, 0) + 1
+        degrees = graph.degrees()
 
     weights: dict[tuple[int, int], float] = {}
     for (a, b), info in graph.edges.items():

@@ -1,0 +1,25 @@
+"""Opt-in perf-regression guard (see ``scripts/bench_guard.py``).
+
+Deselected by default because it times real workloads; run it with::
+
+    PYTHONPATH=src python -m pytest tests/test_bench_guard.py --bench-guard
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench_guard
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_kernel_speedup_within_tolerance_of_baseline():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_guard import check_against_baseline
+
+    failures = check_against_baseline(tolerance=0.2)
+    assert not failures, "; ".join(failures)
