@@ -33,9 +33,15 @@ from repro.blocking.filtering import BlockFiltering
 from repro.blocking.purging import BlockPurging
 from repro.blocking.token_blocking import TokenBlocking
 from repro.data.synthetic import SyntheticConfig, generate_abt_buy_like
+from repro.engine.context import EngineContext
 from repro.metablocking.graph import EdgeInfo
 from repro.metablocking.index import CSRBlockIndex
-from repro.metablocking.parallel import CompactBlockIndex, incident_edge_index
+from repro.metablocking.metablocker import MetaBlocker
+from repro.metablocking.parallel import (
+    CompactBlockIndex,
+    ParallelMetaBlocker,
+    incident_edge_index,
+)
 from repro.metablocking.weights import WeightingScheme, compute_edge_weight
 
 DEFAULT_SIZES = (100, 200, 400)
@@ -245,6 +251,52 @@ def _ratio_entry(legacy_s: float, kernel_s: float) -> dict:
     }
 
 
+# --------------------------------------------------------------- end-to-end
+def _sequential_metablocking(blocks):
+    return MetaBlocker("cbs", "wnp").run(blocks)
+
+
+def _engine_metablocking(blocks):
+    # Pin the serial executor: the committed overhead baseline was recorded
+    # with it, and an inherited REPRO_ENGINE_EXECUTOR must not change what
+    # the guard measures (or leak an owned worker pool).
+    with EngineContext(4, executor="serial") as context:
+        return ParallelMetaBlocker(context, "cbs", "wnp").run(blocks)
+
+
+def run_e2e_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
+    """Wall-clock of the full ``ParallelMetaBlocker`` vs the sequential path.
+
+    The guarded quantity is the *overhead ratio* (engine wall-clock over
+    sequential wall-clock on the same blocks, same machine, same moment) —
+    machine speed cancels out, so the committed baseline travels across
+    hosts.  A regression here means the engine plumbing (stage fusion,
+    executor dispatch, broadcast shipping) got more expensive relative to
+    the algorithmic work, which no kernel micro-benchmark would notice.
+    """
+    entries = []
+    for num_entities in sizes:
+        dataset, blocks = prepare_blocks(num_entities)
+        sequential, sequential_s = _timed(_sequential_metablocking, blocks)
+        parallel, parallel_s = _timed(_engine_metablocking, blocks)
+        assert parallel.retained_edges == sequential.retained_edges, (
+            "engine meta-blocking diverged from the sequential path"
+        )
+        entry = {
+            "num_entities": num_entities,
+            "profiles": len(dataset.profiles),
+            "sequential_s": round(sequential_s, 6),
+            "parallel_s": round(parallel_s, 6),
+            "overhead": round(parallel_s / sequential_s, 3),
+        }
+        entries.append(entry)
+        print(
+            f"[{num_entities:>4} entities] e2e sequential {sequential_s:.3f}s | "
+            f"engine {parallel_s:.3f}s | overhead {entry['overhead']:.2f}x"
+        )
+    return entries
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
@@ -252,10 +304,33 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--dry-run", action="store_true", help="run without writing the baseline file"
     )
+    parser.add_argument(
+        "--skip-kernel", action="store_true",
+        help="keep the committed kernel entries; only refresh the e2e section",
+    )
+    parser.add_argument(
+        "--skip-e2e", action="store_true",
+        help="keep the committed e2e entries; only refresh the kernel section",
+    )
     args = parser.parse_args(argv)
-    entries = run_benchmark(args.sizes)
+
+    existing = {}
+    if (args.skip_kernel or args.skip_e2e) and args.output.exists():
+        existing = json.loads(args.output.read_text())
+    entries = (
+        existing.get("entries", []) if args.skip_kernel else run_benchmark(args.sizes)
+    )
+    e2e_entries = (
+        existing.get("e2e_entries", [])
+        if args.skip_e2e
+        else run_e2e_benchmark(args.sizes)
+    )
     if not args.dry_run:
-        payload = {"benchmark": "metablocking_kernel", "entries": entries}
+        payload = {
+            "benchmark": "metablocking_kernel",
+            "entries": entries,
+            "e2e_entries": e2e_entries,
+        }
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline written to {args.output}")
     return 0

@@ -1,16 +1,22 @@
-"""Perf-regression guard for the meta-blocking kernel.
+"""Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Re-runs ``benchmarks/bench_metablocking_kernel.py`` at its smallest size and
-compares the measured kernel *speedups* (legacy time / kernel time, a ratio
-that is largely machine-independent) against the committed
-``BENCH_metablocking.json`` baseline.  The guard fails when any tracked path
-(neighbourhood weighing, WNP, CNP) regresses by more than the tolerance —
-i.e. retains less than ``1 - tolerance`` of the baseline speedup.
+Two guards, both built on ratios that are largely machine-independent and
+compared against the committed ``BENCH_metablocking.json`` baseline:
+
+* **kernel** — re-runs ``benchmarks/bench_metablocking_kernel.py`` at its
+  smallest size and checks the kernel *speedups* (legacy time / kernel
+  time).  Fails when any tracked path (neighbourhood weighing, WNP, CNP)
+  retains less than ``1 - tolerance`` of the baseline speedup.
+* **end-to-end** — times the full ``ParallelMetaBlocker`` against the
+  sequential ``MetaBlocker`` on the same blocks and checks the *overhead
+  ratio* (engine wall-clock / sequential wall-clock).  Fails when the
+  engine plumbing became more than ``1 + tolerance`` times as expensive
+  relative to the algorithmic work as the committed baseline.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_guard.py
-    PYTHONPATH=src python scripts/bench_guard.py --tolerance 0.2
+    PYTHONPATH=src python scripts/bench_guard.py --tolerance 0.2 --e2e-tolerance 0.5
 
 Also wired as an opt-in pytest marker::
 
@@ -53,23 +59,70 @@ def check_against_baseline(tolerance: float = 0.2, baseline_path: Path = BASELIN
     return failures
 
 
+def check_e2e_against_baseline(
+    tolerance: float = 0.5, baseline_path: Path = BASELINE_PATH
+) -> list[str]:
+    """Guard the end-to-end engine overhead; return failure messages.
+
+    The e2e tolerance defaults looser than the kernel one because whole-job
+    wall-clocks carry more scheduler noise than best-of-N micro timings.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_metablocking_kernel import run_e2e_benchmark
+
+    baseline = json.loads(baseline_path.read_text())
+    e2e_entries = baseline.get("e2e_entries")
+    if not e2e_entries:
+        return [
+            "no e2e baseline committed — regenerate with "
+            "`python benchmarks/bench_metablocking_kernel.py`"
+        ]
+    # Guard at the *largest* committed size: its whole-job wall-clock is long
+    # enough that the overhead ratio is stable run-to-run (the smallest size
+    # finishes in ~20ms, where scheduler jitter swamps the ratio).
+    baseline_entry = max(e2e_entries, key=lambda entry: entry["num_entities"])
+    guard_size = baseline_entry["num_entities"]
+
+    current_entry = run_e2e_benchmark(sizes=[guard_size])[0]
+
+    expected = baseline_entry["overhead"]
+    measured = current_entry["overhead"]
+    ceiling = expected * (1.0 + tolerance)
+    if measured > ceiling:
+        return [
+            f"e2e: engine overhead regressed to {measured:.2f}x the sequential "
+            f"path (baseline {expected:.2f}x, ceiling {ceiling:.2f}x)"
+        ]
+    return []
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--tolerance",
         type=float,
         default=0.2,
-        help="allowed fractional speedup regression (default 0.2 = 20%%)",
+        help="allowed fractional kernel-speedup regression (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--e2e-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional e2e overhead increase (default 0.5 = 50%%)",
     )
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     args = parser.parse_args(argv)
 
     failures = check_against_baseline(args.tolerance, args.baseline)
+    failures += check_e2e_against_baseline(args.e2e_tolerance, args.baseline)
     if failures:
         for failure in failures:
             print(f"BENCH GUARD FAIL — {failure}", file=sys.stderr)
         return 1
-    print("bench guard ok: kernel speedups within tolerance of the committed baseline")
+    print(
+        "bench guard ok: kernel speedups and e2e engine overhead within "
+        "tolerance of the committed baseline"
+    )
     return 0
 
 

@@ -11,6 +11,10 @@ Usage examples::
     # end-to-end run on the synthetic Abt-Buy stand-in
     python -m repro.cli run --synthetic abt-buy --entities 200
 
+    # same run on the mini engine with a 4-worker process pool
+    python -m repro.cli run --synthetic abt-buy --entities 200 \
+        --executor process --workers 4
+
     # clean-clean ER on two CSV files with a ground-truth mapping
     python -m repro.cli run --source0 abt.csv --source1 buy.csv \
         --ground-truth mapping.csv --id-field id --output entities.json
@@ -114,12 +118,32 @@ def _config_from_args(args: argparse.Namespace) -> SparkERConfig:
     return config
 
 
+def _executor_spec(args: argparse.Namespace) -> str | None:
+    """Build the engine executor spec from --executor / --workers.
+
+    ``--workers`` without ``--executor`` implies the process executor — a
+    worker count for the serial executor would otherwise be silently ignored.
+    """
+    executor = args.executor
+    if executor is None and args.workers is not None:
+        executor = "process"
+    if not executor:
+        return None
+    if args.workers is not None:
+        return f"{executor}:{args.workers}"
+    return executor
+
+
 def _command_run(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args)
     config = _config_from_args(args)
-    pipeline = SparkER(config, use_engine=args.engine)
+    use_engine = args.engine or bool(args.executor) or args.workers is not None
+    pipeline = SparkER(config, use_engine=use_engine, executor=_executor_spec(args))
     ground_truth = dataset.ground_truth if len(dataset.ground_truth) else None
-    result = pipeline.run(dataset.profiles, ground_truth)
+    try:
+        result = pipeline.run(dataset.profiles, ground_truth)
+    finally:
+        pipeline.shutdown()
 
     print(f"dataset: {dataset.summary()}")
     print()
@@ -180,6 +204,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="matcher similarity threshold")
     run.add_argument("--engine", action="store_true",
                      help="run the distributed code paths on the mini engine")
+    run.add_argument("--executor", choices=["serial", "process"], default=None,
+                     help="engine executor for narrow stages (implies --engine); "
+                          "'process' runs shippable stages on a process pool")
+    run.add_argument("--workers", type=int, default=None,
+                     help="process-pool worker count (implies --executor process; "
+                          "default: CPU count)")
     run.add_argument("--output", help="write resolved entities to this JSON file")
     run.add_argument("--save-config", help="write the used configuration to this JSON file")
     run.set_defaults(handler=_command_run)

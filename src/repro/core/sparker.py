@@ -71,6 +71,12 @@ class SparkER:
         When True an :class:`EngineContext` is created with
         ``config.parallelism`` partitions and the distributed code paths are
         used for blocking, meta-blocking and clustering.
+    executor:
+        Executor spec forwarded to the :class:`EngineContext` (``"serial"``,
+        ``"process"``, ``"process:4"`` or an
+        :class:`~repro.engine.executors.Executor` instance); only meaningful
+        with ``use_engine=True``.  ``None`` consults the
+        ``REPRO_ENGINE_EXECUTOR`` environment variable.
     partitioning:
         Optional user-supplied attribute partitioning (supervised mode).
     rules / labeled_pairs / matcher:
@@ -82,6 +88,7 @@ class SparkER:
         config: SparkERConfig | None = None,
         *,
         use_engine: bool = False,
+        executor: object | None = None,
         partitioning: AttributePartitioning | None = None,
         rules: Sequence[MatchingRule] | None = None,
         labeled_pairs: Sequence[tuple[int, int, bool]] | None = None,
@@ -90,7 +97,7 @@ class SparkER:
         self.config = config or SparkERConfig.unsupervised_default()
         self.config.validate()
         self.engine = (
-            EngineContext(default_parallelism=self.config.parallelism)
+            EngineContext(default_parallelism=self.config.parallelism, executor=executor)  # type: ignore[arg-type]
             if use_engine
             else None
         )
@@ -160,3 +167,8 @@ class SparkER:
         self, profiles: ProfileCollection, ground_truth: GroundTruth | None = None
     ) -> SparkERResult:
         return self.run(profiles, ground_truth)
+
+    def shutdown(self) -> None:
+        """Release engine resources (worker pools); safe without an engine."""
+        if self.engine is not None:
+            self.engine.stop()

@@ -14,18 +14,30 @@ contract in pure Python:
   recording per-task metrics (records read/written, shuffle volume, elapsed
   time) so that benchmarks can report scalability and skew figures analogous
   to what a Spark UI would show.
+* :mod:`repro.engine.executors` decides *where* narrow stages run: serially
+  in the driver (default) or on a process pool
+  (:class:`~repro.engine.executors.MultiprocessingExecutor`), which ships the
+  fused per-partition function chains to workers and merges accumulator /
+  metric state back.
 * :mod:`repro.engine.graphx` provides Pregel-style connected components, the
   GraphX primitive SparkER uses for entity clustering.
 
 The engine preserves the *structure* of the distributed computation (how data
-is partitioned, what gets shuffled, what is broadcast); it does not emulate
-cluster wall-clock time.
+is partitioned, what gets shuffled, what is broadcast); with the
+multiprocessing executor the partitioned narrow stages also run genuinely in
+parallel across cores.
 """
 
 from repro.engine.context import EngineContext
 from repro.engine.rdd import RDD
 from repro.engine.broadcast import Broadcast
 from repro.engine.accumulators import Accumulator
+from repro.engine.executors import (
+    Executor,
+    MultiprocessingExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
 from repro.engine.partitioner import HashPartitioner, RangePartitioner
 from repro.engine.metrics import TaskMetrics, StageMetrics, JobMetrics
 from repro.engine.graphx import connected_components, pregel_connected_components
@@ -35,6 +47,10 @@ __all__ = [
     "RDD",
     "Broadcast",
     "Accumulator",
+    "Executor",
+    "SerialExecutor",
+    "MultiprocessingExecutor",
+    "resolve_executor",
     "HashPartitioner",
     "RangePartitioner",
     "TaskMetrics",

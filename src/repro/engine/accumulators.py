@@ -2,13 +2,61 @@
 
 The blocker uses accumulators to count, e.g., how many comparisons each stage
 would perform without materialising them.
+
+Under the serial executor tasks mutate the driver-side accumulator directly.
+Under the multiprocessing executor an accumulator travels to the worker
+inside the stage's pickled function chain, where it rebuilds as a task-side
+replica that records every ``add`` argument; the executor returns the
+recorded updates and the driver replays them on the original accumulator in
+partition order — the exact same sequence of ``combine`` applications a
+serial run performs, so merged values (including float sums) are identical.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generic, TypeVar
+import itertools
+from typing import Any, Callable, Generic, TypeVar
 
 T = TypeVar("T")
+
+# Process-wide unique ids, for the same reason broadcasts use them: the
+# task-side capture keys updates by accumulator id across all contexts.
+_ids = itertools.count()
+
+# Active per-task capture of update arguments, keyed by accumulator id.
+# ``None`` outside a captured task (driver-side adds are applied directly).
+_capture: dict[int, list[Any]] | None = None
+
+
+def _sum_combine(a: Any, b: Any) -> Any:
+    """The default combine (module-level so accumulators stay picklable)."""
+    return a + b
+
+
+def new_accumulator(
+    initial: T, combine: Callable[[T, T], T] | None = None
+) -> "Accumulator[T]":
+    """Create an accumulator with a fresh process-wide id."""
+    return Accumulator(next(_ids), initial, combine)
+
+
+def begin_task_capture() -> None:
+    """Start recording task-side accumulator updates (executor workers only)."""
+    global _capture
+    _capture = {}
+
+
+def end_task_capture() -> dict[int, list[Any]]:
+    """Stop recording and return the captured ``add`` arguments per id."""
+    global _capture
+    captured, _capture = _capture, None
+    return captured or {}
+
+
+def _rebuild(
+    accumulator_id: int, initial: Any, combine: Callable[[Any, Any], Any]
+) -> "_TaskSideAccumulator":
+    return _TaskSideAccumulator(accumulator_id, initial, combine)
 
 
 class Accumulator(Generic[T]):
@@ -20,7 +68,8 @@ class Accumulator(Generic[T]):
         Starting value (also the identity of ``combine``).
     combine:
         Binary function folding a task-side update into the current value.
-        Defaults to ``+``.
+        Defaults to ``+``.  Must be picklable (a module-level function) for
+        the accumulator to be usable under the multiprocessing executor.
     """
 
     def __init__(
@@ -30,8 +79,9 @@ class Accumulator(Generic[T]):
         combine: Callable[[T, T], T] | None = None,
     ) -> None:
         self._id = accumulator_id
+        self._initial = initial
         self._value = initial
-        self._combine = combine if combine is not None else lambda a, b: a + b  # type: ignore[operator]
+        self._combine = combine if combine is not None else _sum_combine
 
     @property
     def id(self) -> int:
@@ -50,5 +100,17 @@ class Accumulator(Generic[T]):
         self.add(update)
         return self
 
+    def __reduce__(self):
+        return (_rebuild, (self._id, self._initial, self._combine))
+
     def __repr__(self) -> str:
         return f"Accumulator(id={self._id}, value={self._value!r})"
+
+
+class _TaskSideAccumulator(Accumulator[Any]):
+    """Worker-side replica: records update arguments for driver-side replay."""
+
+    def add(self, update: Any) -> None:
+        super().add(update)
+        if _capture is not None:
+            _capture.setdefault(self._id, []).append(update)

@@ -2,17 +2,71 @@
 
 In Spark a broadcast variable ships a read-only value to every executor once
 instead of with every task.  The parallel meta-blocking of SparkER broadcasts
-the compact block index to every partition of the blocking-graph nodes.  Here
-the value stays in process memory, but the engine still counts one logical
-"shipment" per partition that reads it, so benchmarks can report broadcast
-volume.
+the compact block index to every partition of the blocking-graph nodes.
+
+Under the serial executor the value stays in driver memory; under the
+multiprocessing executor it travels inside the stage's pickled function
+chain through a registry-backed ``__reduce__``: every broadcast has a
+process-wide unique id, and the unpickle hook consults the worker's registry
+so each process keeps **one** live copy no matter how many tasks or stages
+reference it (a copy inherited by fork is reused the same way).  The value
+bytes still ride in the chain payload — deserialised once per worker per
+stage thanks to the executor's chain cache, after which the registry lookup
+discards the duplicate — so shipping cost scales with workers × stages, not
+tasks.  The engine still counts one logical read per ``.value`` access —
+worker-side counts are merged back into the driver object by the executor —
+so benchmarks can report broadcast traffic.
 """
 
 from __future__ import annotations
 
-from typing import Generic, TypeVar
+import itertools
+import weakref
+from typing import Any, Generic, TypeVar
 
 T = TypeVar("T")
+
+# Process-wide unique ids: two EngineContexts must never mint the same
+# broadcast id, otherwise the worker-side registry would alias their values.
+_ids = itertools.count()
+
+# One entry per live broadcast in this process (driver or worker).  Weak so
+# that destroyed/collected broadcasts do not pin their values forever.
+_registry: "weakref.WeakValueDictionary[int, Broadcast[Any]]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def new_broadcast(value: T) -> "Broadcast[T]":
+    """Create a broadcast with a fresh process-wide id and register it."""
+    broadcast = Broadcast(next(_ids), value)
+    _registry[broadcast.id] = broadcast
+    return broadcast
+
+
+def _rebuild(broadcast_id: int, value: Any) -> "Broadcast[Any]":
+    """Unpickle hook: reuse the process-local copy when one already exists."""
+    existing = _registry.get(broadcast_id)
+    if existing is not None and not existing._destroyed:
+        return existing
+    broadcast = Broadcast(broadcast_id, value)
+    _registry[broadcast_id] = broadcast
+    return broadcast
+
+
+def snapshot_access_counts() -> dict[int, int]:
+    """Current per-broadcast read counts of this process (for task capture)."""
+    return {broadcast_id: b.access_count for broadcast_id, b in _registry.items()}
+
+
+def access_count_delta(baseline: dict[int, int]) -> dict[int, int]:
+    """Reads performed since ``baseline`` (only broadcasts actually read)."""
+    delta: dict[int, int] = {}
+    for broadcast_id, broadcast in _registry.items():
+        reads = broadcast.access_count - baseline.get(broadcast_id, 0)
+        if reads > 0:
+            delta[broadcast_id] = reads
+    return delta
 
 
 class Broadcast(Generic[T]):
@@ -40,6 +94,11 @@ class Broadcast(Generic[T]):
         """Release the broadcast value."""
         self._destroyed = True
         self._value = None  # type: ignore[assignment]
+
+    def __reduce__(self):
+        if self._destroyed:
+            raise ValueError(f"Broadcast {self._id} was destroyed and cannot be shipped")
+        return (_rebuild, (self._id, self._value))
 
     def __repr__(self) -> str:
         state = "destroyed" if self._destroyed else "live"

@@ -1,7 +1,8 @@
 """The engine context — the ``SparkContext`` of the mini engine.
 
-Create one :class:`EngineContext` per pipeline run.  It owns the scheduler
-(metrics), broadcast variables and accumulators, and is the factory for RDDs.
+Create one :class:`EngineContext` per pipeline run.  It owns the executor
+(where narrow stages run), the scheduler (metrics), broadcast variables and
+accumulators, and is the factory for RDDs.
 """
 
 from __future__ import annotations
@@ -9,8 +10,9 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Any, Callable, TypeVar
 
-from repro.engine.accumulators import Accumulator
-from repro.engine.broadcast import Broadcast
+from repro.engine.accumulators import Accumulator, new_accumulator
+from repro.engine.broadcast import Broadcast, new_broadcast
+from repro.engine.executors import Executor, StageResult, resolve_executor
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import Scheduler
 from repro.exceptions import EngineError
@@ -28,18 +30,30 @@ class EngineContext:
         the default for shuffle outputs.
     app_name:
         Label used in logs and metric reports.
+    executor:
+        Where narrow stages run: an :class:`~repro.engine.executors.Executor`
+        instance, a spec string (``"serial"``, ``"process"``, ``"process:4"``)
+        or ``None`` to consult the ``REPRO_ENGINE_EXECUTOR`` environment
+        variable (default: serial).  A context created from a spec string
+        owns its executor and closes it in :meth:`stop`; a caller-supplied
+        instance is shared and left open.
     """
 
-    def __init__(self, default_parallelism: int = 4, app_name: str = "sparker") -> None:
+    def __init__(
+        self,
+        default_parallelism: int = 4,
+        app_name: str = "sparker",
+        executor: "Executor | str | None" = None,
+    ) -> None:
         if default_parallelism <= 0:
             raise EngineError("default_parallelism must be positive")
         self.default_parallelism = default_parallelism
         self.app_name = app_name
         self.scheduler = Scheduler()
-        self._next_broadcast_id = 0
-        self._next_accumulator_id = 0
-        self._broadcasts: list[Broadcast[Any]] = []
-        self._accumulators: list[Accumulator[Any]] = []
+        self._owns_executor = not isinstance(executor, Executor)
+        self.executor = resolve_executor(executor)
+        self._broadcasts: dict[int, Broadcast[Any]] = {}
+        self._accumulators: dict[int, Accumulator[Any]] = {}
 
     # ------------------------------------------------------------------ RDDs
     def parallelize(self, data: Sequence[Any], num_partitions: int | None = None) -> RDD:
@@ -62,19 +76,35 @@ class EngineContext:
     # ----------------------------------------------------------- shared state
     def broadcast(self, value: T) -> Broadcast[T]:
         """Create a broadcast variable holding ``value``."""
-        broadcast = Broadcast(self._next_broadcast_id, value)
-        self._next_broadcast_id += 1
-        self._broadcasts.append(broadcast)
+        broadcast = new_broadcast(value)
+        self._broadcasts[broadcast.id] = broadcast
         return broadcast
 
     def accumulator(
         self, initial: T, combine: Callable[[T, T], T] | None = None
     ) -> Accumulator[T]:
         """Create an accumulator starting at ``initial``."""
-        accumulator = Accumulator(self._next_accumulator_id, initial, combine)
-        self._next_accumulator_id += 1
-        self._accumulators.append(accumulator)
+        accumulator = new_accumulator(initial, combine)
+        self._accumulators[accumulator.id] = accumulator
         return accumulator
+
+    def merge_stage_result(self, result: StageResult) -> None:
+        """Fold worker-side task state back into the driver objects.
+
+        Accumulator updates are replayed in partition order — the same order
+        a serial run applies them — and broadcast read counts are added to
+        the driver-side ``access_count``.
+        """
+        for task in result.tasks:
+            for accumulator_id, updates in task.accumulator_updates.items():
+                accumulator = self._accumulators.get(accumulator_id)
+                if accumulator is not None:
+                    for update in updates:
+                        accumulator.add(update)
+            for broadcast_id, reads in task.broadcast_reads.items():
+                broadcast = self._broadcasts.get(broadcast_id)
+                if broadcast is not None:
+                    broadcast.access_count += reads
 
     # ---------------------------------------------------------------- metrics
     def metrics_summary(self) -> dict[str, Any]:
@@ -82,6 +112,7 @@ class EngineContext:
         return {
             "app_name": self.app_name,
             "default_parallelism": self.default_parallelism,
+            "executor": self.executor.name,
             "jobs": len(self.scheduler.jobs),
             "stages": len(self.scheduler.stages),
             "tasks": self.scheduler.total_tasks,
@@ -94,8 +125,21 @@ class EngineContext:
         """Clear recorded scheduler metrics (useful between benchmark phases)."""
         self.scheduler.reset()
 
+    # --------------------------------------------------------------- lifecycle
+    def stop(self) -> None:
+        """Release engine resources (closes the executor if this context owns it)."""
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
     def __repr__(self) -> str:
         return (
             f"EngineContext(app_name={self.app_name!r}, "
-            f"default_parallelism={self.default_parallelism})"
+            f"default_parallelism={self.default_parallelism}, "
+            f"executor={self.executor.name!r})"
         )

@@ -1,0 +1,315 @@
+"""Pluggable stage executors: where the engine's narrow stages actually run.
+
+The scheduler records *what* ran; an :class:`Executor` decides *where*.  Two
+implementations exist:
+
+* :class:`SerialExecutor` — runs every partition in the driver process, in
+  partition order.  This is the historical behaviour and the default.
+* :class:`MultiprocessingExecutor` — ships each partition of a fused narrow
+  stage to a :class:`concurrent.futures.ProcessPoolExecutor` worker, turning
+  the engine's recorded task parallelism into real multi-core wall-clock
+  parallelism.
+
+A stage is shippable when its fused per-partition function chain pickles:
+the chain is serialised **once per stage** in the driver (so an unpicklable
+closure fails fast with a clear :class:`~repro.exceptions.EngineError`
+instead of hanging a worker), and each worker task replays it over its own
+partition.  :class:`~repro.engine.broadcast.Broadcast` values travel inside
+the chain through a registry-backed ``__reduce__`` — one live copy per worker
+process — and :class:`~repro.engine.accumulators.Accumulator` updates are
+captured task-side and replayed on the driver objects in partition order, so
+the merged driver state is identical to a serial run (same float accumulation
+order, same counts).
+
+Executor selection: pass an :class:`Executor` instance or a spec string to
+``EngineContext(executor=...)``, or set the ``REPRO_ENGINE_EXECUTOR``
+environment variable.  Spec strings: ``"serial"``, ``"process"``,
+``"process:4"`` (4 workers).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import sys
+import time
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import itertools
+
+from repro.engine import accumulators as _accumulators
+from repro.engine import broadcast as _broadcast
+from repro.exceptions import EngineError
+
+ENV_VAR = "REPRO_ENGINE_EXECUTOR"
+
+StageFunc = Callable[[int, Iterator[Any]], Iterable[Any]]
+
+# Every shipped stage gets a token; all its tasks share one payload, so each
+# worker deserialises the chain (and any broadcast riding in it) once per
+# stage instead of once per task.
+_stage_tokens = itertools.count()
+
+# Worker-side single-slot chain cache.  Stages execute one after another, so
+# keeping only the latest chain both maximises hits and avoids pinning the
+# broadcasts of finished stages in worker memory.
+_cached_token: int | None = None
+_cached_funcs: tuple[StageFunc, ...] = ()
+
+
+def _load_chain(payload: bytes, token: int) -> tuple[StageFunc, ...]:
+    global _cached_token, _cached_funcs
+    if _cached_token != token:
+        _cached_funcs = pickle.loads(payload)
+        _cached_token = token
+    return _cached_funcs
+
+
+@dataclass
+class TaskOutcome:
+    """What one task (one partition of one stage) produced.
+
+    Besides the materialised partition this carries everything the driver
+    must merge back: the task's wall-clock, which worker ran it, the
+    accumulator updates it recorded (replayed driver-side in partition
+    order) and how often it read each broadcast variable.
+    """
+
+    partition: list[Any]
+    elapsed_seconds: float = 0.0
+    worker: str = "driver"
+    accumulator_updates: dict[int, list[Any]] = field(default_factory=dict)
+    broadcast_reads: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class StageResult:
+    """All task outcomes of one executed stage, in partition order."""
+
+    executor: str
+    tasks: list[TaskOutcome]
+
+    @property
+    def partitions(self) -> list[list[Any]]:
+        return [task.partition for task in self.tasks]
+
+
+class Executor:
+    """Runs the fused function chain of a narrow stage over its partitions."""
+
+    name = "executor"
+
+    def run_stage(
+        self, funcs: Sequence[StageFunc], source_partitions: Sequence[Sequence[Any]]
+    ) -> StageResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (worker pools); idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Run every task in the driver process, in partition order."""
+
+    name = "serial"
+
+    def run_stage(
+        self, funcs: Sequence[StageFunc], source_partitions: Sequence[Sequence[Any]]
+    ) -> StageResult:
+        tasks = []
+        for index, partition in enumerate(source_partitions):
+            start = time.perf_counter()
+            rows: Iterable[Any] = iter(partition)
+            for func in funcs:
+                rows = func(index, rows)
+            data = list(rows)
+            tasks.append(TaskOutcome(data, time.perf_counter() - start))
+        return StageResult(self.name, tasks)
+
+
+def _run_remote_task(
+    payload: bytes, token: int, index: int, partition: list[Any]
+) -> TaskOutcome:
+    """Worker-side task body: replay the pickled chain over one partition.
+
+    Accumulator updates and broadcast reads are captured per task (the worker
+    process is long-lived and serves many tasks) and returned for the driver
+    to merge.
+    """
+    start = time.perf_counter()
+    funcs = _load_chain(payload, token)
+    baseline = _broadcast.snapshot_access_counts()
+    _accumulators.begin_task_capture()
+    try:
+        rows: Iterable[Any] = iter(partition)
+        for func in funcs:
+            rows = func(index, rows)
+        data = list(rows)
+    finally:
+        updates = _accumulators.end_task_capture()
+    reads = _broadcast.access_count_delta(baseline)
+    return TaskOutcome(
+        data, time.perf_counter() - start, f"pid-{os.getpid()}", updates, reads
+    )
+
+
+class MultiprocessingExecutor(Executor):
+    """Run each task of a stage in a process pool (real multi-core execution).
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    on_unpicklable:
+        What to do when a stage's function chain does not pickle (user code
+        captured an unpicklable closure): ``"fallback"`` (default) runs that
+        stage serially in the driver and labels it
+        ``process[...]→serial-fallback`` in the stage metrics; ``"raise"``
+        raises :class:`~repro.exceptions.EngineError` immediately.
+
+    The pool is created lazily on the first shipped stage (with the ``fork``
+    start method where available, so already-registered broadcasts are
+    inherited copy-on-write) and must be released with :meth:`close` — or use
+    the executor / its :class:`~repro.engine.context.EngineContext` as a
+    context manager.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, max_workers: int | None = None, on_unpicklable: str = "fallback"
+    ) -> None:
+        if on_unpicklable not in ("fallback", "raise"):
+            raise EngineError(
+                f"on_unpicklable must be 'fallback' or 'raise', got {on_unpicklable!r}"
+            )
+        if max_workers is not None and max_workers <= 0:
+            raise EngineError("max_workers must be positive")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.on_unpicklable = on_unpicklable
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}[{self.max_workers}]"
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Prefer cheap copy-on-write workers, but only on Linux: macOS
+            # offers "fork" too yet forking after system frameworks have been
+            # touched can deadlock (why CPython made "spawn" the macOS
+            # default).  Everything shipped to workers is spawn-safe anyway —
+            # broadcasts ride in the chain payload — so other platforms just
+            # use their default start method.
+            mp_context = (
+                multiprocessing.get_context("fork")
+                if sys.platform == "linux"
+                and "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=mp_context
+            )
+        return self._pool
+
+    def run_stage(
+        self, funcs: Sequence[StageFunc], source_partitions: Sequence[Sequence[Any]]
+    ) -> StageResult:
+        if self._closed:
+            # A silent restart here would fork a fresh pool that nothing owns
+            # or shuts down; surface the lifecycle bug instead.
+            raise EngineError(
+                "MultiprocessingExecutor was closed; create a new executor "
+                "(or a new EngineContext) to run further stages"
+            )
+        try:
+            payload = pickle.dumps(tuple(funcs), protocol=pickle.HIGHEST_PROTOCOL)
+        except ValueError:
+            # Not an unpicklable closure: e.g. a destroyed Broadcast refusing
+            # to ship.  That is a lifecycle bug — surface it untranslated
+            # rather than misdiagnosing it or silently downgrading to serial.
+            raise
+        except Exception as error:
+            if self.on_unpicklable == "raise":
+                raise EngineError(
+                    f"stage function chain is not picklable and cannot be shipped "
+                    f"to worker processes: {error!r}. Move closures to module-level "
+                    f"callables with bound arguments, or run this stage with the "
+                    f"serial executor."
+                ) from error
+            serial = SerialExecutor().run_stage(funcs, source_partitions)
+            return StageResult(f"{self.label}→serial-fallback", serial.tasks)
+        pool = self._ensure_pool()
+        token = next(_stage_tokens)
+        futures = [
+            pool.submit(_run_remote_task, payload, token, index, list(partition))
+            for index, partition in enumerate(source_partitions)
+        ]
+        # Collect in submission order: partition order is what keeps the
+        # driver-side merge (dict insertion, accumulator replay) identical to
+        # a serial run.
+        tasks = [future.result() for future in futures]
+        return StageResult(self.label, tasks)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiprocessingExecutor(max_workers={self.max_workers}, "
+            f"on_unpicklable={self.on_unpicklable!r})"
+        )
+
+
+def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
+    """Turn an executor spec into an :class:`Executor` instance.
+
+    ``None`` consults the ``REPRO_ENGINE_EXECUTOR`` environment variable and
+    defaults to the serial executor.  Strings: ``"serial"``; ``"process"`` /
+    ``"multiprocessing"``, optionally with a worker count (``"process:4"``).
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "").strip() or "serial"
+    if isinstance(spec, Executor):
+        return spec
+    if not isinstance(spec, str):
+        raise EngineError(f"executor spec must be an Executor or a string, got {spec!r}")
+    name, _, argument = spec.partition(":")
+    name = name.strip().lower()
+    if name in ("serial", "sync", "driver"):
+        if argument.strip():
+            raise EngineError(
+                f"the serial executor takes no worker count (got {spec!r}); "
+                f"use 'process:<N>' for a worker pool"
+            )
+        return SerialExecutor()
+    if name in ("process", "processes", "multiprocessing", "mp"):
+        workers: int | None = None
+        if argument.strip():
+            try:
+                workers = int(argument)
+            except ValueError as error:
+                raise EngineError(
+                    f"invalid worker count in executor spec {spec!r}"
+                ) from error
+        return MultiprocessingExecutor(max_workers=workers)
+    raise EngineError(
+        f"unknown executor {spec!r}; expected 'serial', 'process' or 'process:<N>'"
+    )

@@ -13,7 +13,11 @@ from dataclasses import dataclass, field
 
 @dataclass
 class TaskMetrics:
-    """Metrics of one task (the execution of one partition of one stage)."""
+    """Metrics of one task (the execution of one partition of one stage).
+
+    ``worker`` identifies where the task ran: ``"driver"`` for in-process
+    execution, ``"pid-<n>"`` for a multiprocessing-executor worker.
+    """
 
     stage_id: int
     partition_index: int
@@ -22,6 +26,7 @@ class TaskMetrics:
     shuffle_read_records: int = 0
     shuffle_write_records: int = 0
     elapsed_seconds: float = 0.0
+    worker: str = "driver"
 
 
 @dataclass
@@ -30,17 +35,24 @@ class StageMetrics:
 
     ``fused_stages`` counts how many logical narrow transformations executed
     inside this physical stage (pipelined narrow-stage fusion); 1 means the
-    stage ran a single transformation.
+    stage ran a single transformation.  ``executor`` records which executor
+    ran the stage (``driver`` for non-executor stages such as shuffles).
     """
 
     stage_id: int
     description: str
     tasks: list[TaskMetrics] = field(default_factory=list)
     fused_stages: int = 1
+    executor: str = "driver"
 
     @property
     def num_tasks(self) -> int:
         return len(self.tasks)
+
+    @property
+    def num_workers(self) -> int:
+        """Distinct workers that ran this stage's tasks."""
+        return len({t.worker for t in self.tasks})
 
     @property
     def total_elapsed(self) -> float:

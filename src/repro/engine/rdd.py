@@ -19,6 +19,7 @@ recorded by the scheduler so scalability benchmarks can report it.
 
 from __future__ import annotations
 
+import operator
 import time
 from collections import defaultdict
 from collections.abc import Callable, Iterable, Iterator, Sequence
@@ -32,9 +33,100 @@ from repro.engine.shuffle import (
     shuffle_partitions,
 )
 from repro.exceptions import EngineError
+from repro.utils.hashing import stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.engine.context import EngineContext
+    from repro.engine.executors import TaskOutcome
+
+
+# --------------------------------------------------------------- stage functions
+# The per-partition functions of narrow transformations are module-level
+# callable classes (not closures) so a fused function chain pickles and can be
+# shipped to worker processes by the multiprocessing executor.  Whether a
+# chain is actually shippable then only depends on the *user* function it
+# wraps being picklable.
+
+
+class _ElementFunc:
+    """Base for per-partition functions wrapping one user function.
+
+    Slots-only classes pickle natively under protocol 2+, so no custom
+    ``__getstate__`` is needed here or in the subclasses.
+    """
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable[..., Any]) -> None:
+        self.func = func
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.func!r})"
+
+
+class _MapFunc(_ElementFunc):
+    def __call__(self, _index: int, it: Iterator[Any]) -> Iterable[Any]:
+        func = self.func
+        return (func(x) for x in it)
+
+
+class _FlatMapFunc(_ElementFunc):
+    def __call__(self, _index: int, it: Iterator[Any]) -> Iterable[Any]:
+        func = self.func
+        return (y for x in it for y in func(x))
+
+
+class _FilterFunc(_ElementFunc):
+    def __call__(self, _index: int, it: Iterator[Any]) -> Iterable[Any]:
+        predicate = self.func
+        return (x for x in it if predicate(x))
+
+
+class _PartitionFunc(_ElementFunc):
+    """mapPartitions: the user function sees the iterator, not the index."""
+
+    def __call__(self, _index: int, it: Iterator[Any]) -> Iterable[Any]:
+        return self.func(it)
+
+
+class _KeyByFunc(_ElementFunc):
+    def __call__(self, x: Any) -> tuple[Any, Any]:
+        return (self.func(x), x)
+
+
+class _MapValuesFunc(_ElementFunc):
+    def __call__(self, kv: tuple[Any, Any]) -> tuple[Any, Any]:
+        return (kv[0], self.func(kv[1]))
+
+
+class _FlatMapValuesFunc(_ElementFunc):
+    def __call__(self, kv: tuple[Any, Any]) -> Iterable[tuple[Any, Any]]:
+        key, value = kv
+        return ((key, v) for v in self.func(value))
+
+
+def _pair_with_none(x: Any) -> tuple[Any, None]:
+    return (x, None)
+
+
+def _keep_first(a: Any, _b: Any) -> Any:
+    return a
+
+
+class _SampleFunc:
+    """Deterministic sampling filter (seed and threshold bound at creation)."""
+
+    __slots__ = ("seed", "threshold")
+
+    def __init__(self, seed: int, threshold: int) -> None:
+        self.seed = seed
+        self.threshold = threshold
+
+    def __call__(self, index: int, it: Iterator[Any]) -> Iterator[Any]:
+        seed, threshold = self.seed, self.threshold
+        for position, element in enumerate(it):
+            if stable_hash((seed, index, position)) % (2**32) < threshold:
+                yield element
 
 
 class RDD:
@@ -51,6 +143,10 @@ class RDD:
         self.num_partitions = num_partitions
         self.name = name
         self._materialized: list[list[Any]] | None = None
+        # Filled by executor-backed subclasses so the recorded stage carries
+        # real per-task wall-clock and worker identity instead of an even split.
+        self._stage_executor: str | None = None
+        self._task_outcomes: "list[TaskOutcome] | None" = None
 
     # ------------------------------------------------------------------ core
     def _compute(self) -> list[list[Any]]:
@@ -63,17 +159,27 @@ class RDD:
             partitions = self._compute()
             elapsed = time.perf_counter() - start
             stage = self.context.scheduler.new_stage(
-                self.name, fused_stages=getattr(self, "_fused_stages", 1)
+                self.name,
+                fused_stages=getattr(self, "_fused_stages", 1),
+                executor=self._stage_executor or "driver",
             )
+            outcomes = self._task_outcomes
             per_task = elapsed / max(len(partitions), 1)
             for index, partition in enumerate(partitions):
+                if outcomes is not None and index < len(outcomes):
+                    task_elapsed = outcomes[index].elapsed_seconds
+                    worker = outcomes[index].worker
+                else:
+                    task_elapsed, worker = per_task, "driver"
                 self.context.scheduler.record_task(
                     stage,
                     index,
                     output_records=len(partition),
-                    elapsed_seconds=per_task,
+                    elapsed_seconds=task_elapsed,
+                    worker=worker,
                 )
             self._materialized = partitions
+            self._task_outcomes = None
         return self._materialized
 
     def cache(self) -> "RDD":
@@ -89,26 +195,18 @@ class RDD:
     # -------------------------------------------------- narrow transformations
     def map(self, func: Callable[[Any], Any], name: str | None = None) -> "RDD":
         """Apply ``func`` to every element."""
-        return MappedPartitionsRDD(
-            self,
-            lambda _, it: (func(x) for x in it),
-            name or f"{self.name}.map",
-        )
+        return MappedPartitionsRDD(self, _MapFunc(func), name or f"{self.name}.map")
 
     def flatMap(self, func: Callable[[Any], Iterable[Any]], name: str | None = None) -> "RDD":
         """Apply ``func`` to every element and flatten the results."""
         return MappedPartitionsRDD(
-            self,
-            lambda _, it: (y for x in it for y in func(x)),
-            name or f"{self.name}.flatMap",
+            self, _FlatMapFunc(func), name or f"{self.name}.flatMap"
         )
 
     def filter(self, predicate: Callable[[Any], bool], name: str | None = None) -> "RDD":
         """Keep only the elements for which ``predicate`` is true."""
         return MappedPartitionsRDD(
-            self,
-            lambda _, it: (x for x in it if predicate(x)),
-            name or f"{self.name}.filter",
+            self, _FilterFunc(predicate), name or f"{self.name}.filter"
         )
 
     def mapPartitions(
@@ -116,7 +214,7 @@ class RDD:
     ) -> "RDD":
         """Apply ``func`` to the iterator of each partition."""
         return MappedPartitionsRDD(
-            self, lambda _, it: func(it), name or f"{self.name}.mapPartitions"
+            self, _PartitionFunc(func), name or f"{self.name}.mapPartitions"
         )
 
     def mapPartitionsWithIndex(
@@ -131,26 +229,23 @@ class RDD:
 
     def keyBy(self, func: Callable[[Any], Any]) -> "RDD":
         """Turn each element ``x`` into ``(func(x), x)``."""
-        return self.map(lambda x: (func(x), x), name=f"{self.name}.keyBy")
+        return self.map(_KeyByFunc(func), name=f"{self.name}.keyBy")
 
     def mapValues(self, func: Callable[[Any], Any]) -> "RDD":
         """Apply ``func`` to the value of each ``(key, value)`` pair."""
-        return self.map(lambda kv: (kv[0], func(kv[1])), name=f"{self.name}.mapValues")
+        return self.map(_MapValuesFunc(func), name=f"{self.name}.mapValues")
 
     def flatMapValues(self, func: Callable[[Any], Iterable[Any]]) -> "RDD":
         """Apply ``func`` to each value and emit one pair per produced element."""
-        return self.flatMap(
-            lambda kv: ((kv[0], v) for v in func(kv[1])),
-            name=f"{self.name}.flatMapValues",
-        )
+        return self.flatMap(_FlatMapValuesFunc(func), name=f"{self.name}.flatMapValues")
 
     def keys(self) -> "RDD":
         """Project the keys of a pair RDD."""
-        return self.map(lambda kv: kv[0], name=f"{self.name}.keys")
+        return self.map(operator.itemgetter(0), name=f"{self.name}.keys")
 
     def values(self) -> "RDD":
         """Project the values of a pair RDD."""
-        return self.map(lambda kv: kv[1], name=f"{self.name}.values")
+        return self.map(operator.itemgetter(1), name=f"{self.name}.values")
 
     def union(self, other: "RDD") -> "RDD":
         """Concatenate two RDDs (partitions are concatenated, no shuffle)."""
@@ -164,22 +259,14 @@ class RDD:
         """Deterministically sample a fraction of elements (without replacement)."""
         if not 0.0 <= fraction <= 1.0:
             raise EngineError("fraction must be in [0, 1]")
-        from repro.utils.hashing import stable_hash
-
         threshold = int(fraction * (2**32))
-
-        def keep(index: int, it: Iterator[Any]) -> Iterator[Any]:
-            for position, element in enumerate(it):
-                if stable_hash((seed, index, position)) % (2**32) < threshold:
-                    yield element
-
-        return MappedPartitionsRDD(self, keep, f"{self.name}.sample")
+        return MappedPartitionsRDD(self, _SampleFunc(seed, threshold), f"{self.name}.sample")
 
     # ---------------------------------------------------- wide transformations
     def distinct(self, num_partitions: int | None = None) -> "RDD":
         """Remove duplicate elements (requires hashable elements)."""
-        paired = self.map(lambda x: (x, None), name=f"{self.name}.distinct.pair")
-        reduced = paired.reduceByKey(lambda a, _b: a, num_partitions=num_partitions)
+        paired = self.map(_pair_with_none, name=f"{self.name}.distinct.pair")
+        reduced = paired.reduceByKey(_keep_first, num_partitions=num_partitions)
         return reduced.keys()
 
     def partitionBy(self, partitioner: Partitioner) -> "RDD":
@@ -422,6 +509,11 @@ class MappedPartitionsRDD(RDD):
     any intermediate list, mirroring Spark's pipelined narrow stages.  A
     parent that is already materialised (via ``cache()`` or a prior action)
     acts as a fusion barrier and is reused as-is.
+
+    The fused chain runs on the context's executor — in the driver under the
+    serial executor, or shipped to worker processes under the multiprocessing
+    executor, whose task-side accumulator updates and broadcast reads are
+    merged back into the driver objects before the stage result is returned.
     """
 
     def __init__(
@@ -448,13 +540,11 @@ class MappedPartitionsRDD(RDD):
     def _compute(self) -> list[list[Any]]:
         source, funcs = self._fused_chain()
         self._fused_stages = len(funcs)
-        result: list[list[Any]] = []
-        for index, partition in enumerate(source.partitions()):
-            rows: Iterable[Any] = iter(partition)
-            for func in funcs:
-                rows = func(index, rows)
-            result.append(list(rows))
-        return result
+        result = self.context.executor.run_stage(funcs, source.partitions())
+        self._stage_executor = result.executor
+        self._task_outcomes = result.tasks
+        self.context.merge_stage_result(result)
+        return result.partitions
 
 
 class UnionRDD(RDD):

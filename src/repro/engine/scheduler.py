@@ -36,16 +36,21 @@ class Scheduler:
         self._current_job = None
 
     # -- stages -------------------------------------------------------------
-    def new_stage(self, description: str, *, fused_stages: int = 1) -> StageMetrics:
+    def new_stage(
+        self, description: str, *, fused_stages: int = 1, executor: str = "driver"
+    ) -> StageMetrics:
         """Create a new stage and attach it to the open job (if any).
 
         ``fused_stages`` records how many logical narrow transformations the
-        stage pipelines (see :class:`~repro.engine.metrics.StageMetrics`).
+        stage pipelines (see :class:`~repro.engine.metrics.StageMetrics`);
+        ``executor`` records where the stage's tasks ran (``driver``,
+        ``serial``, ``process[N]`` ...).
         """
         stage = StageMetrics(
             stage_id=self._next_stage_id,
             description=description,
             fused_stages=fused_stages,
+            executor=executor,
         )
         self._next_stage_id += 1
         self.stages.append(stage)
@@ -63,6 +68,7 @@ class Scheduler:
         shuffle_read_records: int = 0,
         shuffle_write_records: int = 0,
         elapsed_seconds: float = 0.0,
+        worker: str = "driver",
     ) -> TaskMetrics:
         """Append a task record to ``stage``."""
         task = TaskMetrics(
@@ -73,6 +79,7 @@ class Scheduler:
             shuffle_read_records=shuffle_read_records,
             shuffle_write_records=shuffle_write_records,
             elapsed_seconds=elapsed_seconds,
+            worker=worker,
         )
         stage.tasks.append(task)
         return task
@@ -106,6 +113,8 @@ class Scheduler:
             {
                 "stage": stage.stage_id,
                 "description": stage.description,
+                "executor": stage.executor,
+                "workers": stage.num_workers,
                 "tasks": stage.num_tasks,
                 "fused": stage.fused_stages,
                 "records_in": stage.total_input_records,

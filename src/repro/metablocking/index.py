@@ -147,6 +147,23 @@ class CSRBlockIndex:
         index.node_block_count = block_counts
         return index
 
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Ship every array plus the cached degree vector, never the kernel.
+
+        The index is the broadcast payload of the parallel meta-blocking;
+        each worker process builds its own scratch-buffer kernel on first
+        use, so the kernel (and its buffers) stays out of the pickle.
+        """
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_kernel"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._kernel = None
+
     # ------------------------------------------------------------- properties
     @property
     def num_nodes(self) -> int:

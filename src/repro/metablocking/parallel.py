@@ -150,6 +150,135 @@ def incident_edge_index(
     return PruningStrategy._node_incidence(weights)
 
 
+# ------------------------------------------------------------ task functions
+# The per-element functions of the broadcast-join jobs are module-level
+# callable classes with bound arguments (not closures), so the fused stage
+# chains pickle and the jobs run unchanged on the multiprocessing executor.
+
+
+class _EdgeWeigher:
+    """node → ``[((a, b), weight)]`` for the edges at the node's lower endpoint.
+
+    Each task materialises the node's neighbourhood once through the
+    broadcast kernel and emits only the edges whose *lower* endpoint is the
+    node, so every edge is produced exactly once with no dedup shuffle.  EJS
+    reads both endpoints' degrees and the global edge count from the
+    broadcast degree vector — no per-neighbour re-materialisation.
+    """
+
+    __slots__ = ("broadcast", "scheme", "use_entropy")
+
+    def __init__(self, broadcast, scheme: WeightingScheme, use_entropy: bool) -> None:
+        self.broadcast = broadcast
+        self.scheme = scheme
+        self.use_entropy = use_entropy
+
+    def __call__(self, profile_id: int) -> list[tuple[tuple[int, int], float]]:
+        scheme = self.scheme
+        needs_degrees = scheme is WeightingScheme.EJS
+        index: CSRBlockIndex = self.broadcast.value
+        node = index.node_of[profile_id]
+        if needs_degrees:
+            # Resolve degrees before touching the shared kernel: a lazy
+            # degree computation sweeps every node and must not run while
+            # this node's neighbourhood sits in the scratch buffers.
+            degrees = index.degree_vector()
+            degree_node = degrees[node]
+            total_edges = index.num_edges()
+        kernel = index.kernel()
+        touched = kernel.neighbours(node)
+        node_ids = index.node_ids
+        block_counts = index.node_block_count
+        common, arcs, entropy = (
+            kernel.common_blocks,
+            kernel.arcs,
+            kernel.entropy_sum,
+        )
+        total_blocks = index.total_blocks
+        blocks_node = block_counts[node]
+        use_entropy = self.use_entropy
+        results: list[tuple[tuple[int, int], float]] = []
+        for other in touched:
+            if other <= node:
+                continue
+            info = EdgeInfo(
+                common_blocks=common[other],
+                arcs=arcs[other],
+                entropy_sum=entropy[other],
+            )
+            weight = compute_edge_weight(
+                scheme,
+                info,
+                blocks_a=blocks_node,
+                blocks_b=block_counts[other],
+                total_blocks=total_blocks,
+                degree_a=degree_node if needs_degrees else 0,
+                degree_b=degrees[other] if needs_degrees else 0,
+                total_edges=total_edges if needs_degrees else 0,
+            )
+            if use_entropy:
+                weight *= info.mean_entropy
+            results.append(((profile_id, node_ids[other]), weight))
+        return results
+
+
+class _NodeDegree:
+    """profile id → blocking-graph degree, read from the broadcast vector."""
+
+    __slots__ = ("broadcast",)
+
+    def __init__(self, broadcast) -> None:
+        self.broadcast = broadcast
+
+    def __call__(self, profile_id: int) -> int:
+        index: CSRBlockIndex = self.broadcast.value
+        return index.degree_vector()[index.node_of[profile_id]]
+
+
+class _WeightedNodeVotes:
+    """WNP vote task: retain a node's incident edges above its local mean."""
+
+    __slots__ = ("incidence_broadcast",)
+
+    def __init__(self, incidence_broadcast) -> None:
+        self.incidence_broadcast = incidence_broadcast
+
+    def __call__(self, node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
+        incident = self.incidence_broadcast.value.get(node)
+        if not incident:
+            return []
+        threshold = sum(w for _p, w in incident) / len(incident)
+        return [(pair, (w, 1)) for pair, w in incident if w >= threshold]
+
+
+class _CardinalityNodeVotes:
+    """CNP vote task: retain a node's top-``k`` incident edges."""
+
+    __slots__ = ("incidence_broadcast", "k")
+
+    def __init__(self, incidence_broadcast, k: int) -> None:
+        self.incidence_broadcast = incidence_broadcast
+        self.k = k
+
+    def __call__(self, node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
+        incident = self.incidence_broadcast.value.get(node)
+        if not incident:
+            return []
+        ranked = sorted(incident, key=_rank_key)
+        return [(pair, (w, 1)) for pair, w in ranked[: self.k]]
+
+
+def _rank_key(item: tuple[tuple[int, int], float]) -> tuple[float, tuple[int, int]]:
+    return (-item[1], item[0])
+
+
+def _merge_votes(
+    a: tuple[float, int], b: tuple[float, int]
+) -> tuple[float, int]:
+    """Combine per-node pruning votes for one edge (weight is identical)."""
+    return (a[0], a[1] + b[1])
+
+
 class ParallelMetaBlocker:
     """Parallel meta-blocking with the broadcast-join structure of SparkER.
 
@@ -214,65 +343,9 @@ class ParallelMetaBlocker:
         return self.run(blocks)
 
     # -------------------------------------------------------------- internals
-    def _edge_weigher(self, broadcast):
-        """Return a function node → list of ((a, b), weight) for its edges.
-
-        Each task materialises the node's neighbourhood once through the
-        broadcast kernel and emits only the edges whose *lower* endpoint is
-        the node, so every edge is produced exactly once with no dedup
-        shuffle.  EJS reads both endpoints' degrees and the global edge count
-        from the broadcast degree vector — no per-neighbour re-materialisation.
-        """
-        scheme = self.weighting
-        use_entropy = self.use_entropy
-        needs_degrees = scheme is WeightingScheme.EJS
-
-        def weigh(profile_id: int) -> list[tuple[tuple[int, int], float]]:
-            index: CSRBlockIndex = broadcast.value
-            node = index.node_of[profile_id]
-            if needs_degrees:
-                # Resolve degrees before touching the shared kernel: a lazy
-                # degree computation sweeps every node and must not run while
-                # this node's neighbourhood sits in the scratch buffers.
-                degrees = index.degree_vector()
-                degree_node = degrees[node]
-                total_edges = index.num_edges()
-            kernel = index.kernel()
-            touched = kernel.neighbours(node)
-            node_ids = index.node_ids
-            block_counts = index.node_block_count
-            common, arcs, entropy = (
-                kernel.common_blocks,
-                kernel.arcs,
-                kernel.entropy_sum,
-            )
-            total_blocks = index.total_blocks
-            blocks_node = block_counts[node]
-            results: list[tuple[tuple[int, int], float]] = []
-            for other in touched:
-                if other <= node:
-                    continue
-                info = EdgeInfo(
-                    common_blocks=common[other],
-                    arcs=arcs[other],
-                    entropy_sum=entropy[other],
-                )
-                weight = compute_edge_weight(
-                    scheme,
-                    info,
-                    blocks_a=blocks_node,
-                    blocks_b=block_counts[other],
-                    total_blocks=total_blocks,
-                    degree_a=degree_node if needs_degrees else 0,
-                    degree_b=degrees[other] if needs_degrees else 0,
-                    total_edges=total_edges if needs_degrees else 0,
-                )
-                if use_entropy:
-                    weight *= info.mean_entropy
-                results.append(((profile_id, node_ids[other]), weight))
-            return results
-
-        return weigh
+    def _edge_weigher(self, broadcast) -> _EdgeWeigher:
+        """The picklable node → edge-weights task function of this job."""
+        return _EdgeWeigher(broadcast, self.weighting, self.use_entropy)
 
     def _all_edge_weights(self, node_rdd, broadcast) -> dict[tuple[int, int], float]:
         """Distributed computation of every edge weight (one emission per edge).
@@ -286,11 +359,7 @@ class ParallelMetaBlocker:
         return node_rdd.flatMap(weigh, name="metablocking.weights").collectAsMap()
 
     def _count_edges(self, node_rdd, broadcast) -> int:
-        def degree(profile_id: int) -> int:
-            index: CSRBlockIndex = broadcast.value
-            return index.degree_vector()[index.node_of[profile_id]]
-
-        total = node_rdd.map(degree, name="metablocking.degree").sum()
+        total = node_rdd.map(_NodeDegree(broadcast), name="metablocking.degree").sum()
         return total // 2
 
     # --- strategy-specific drivers ------------------------------------------
@@ -321,21 +390,12 @@ class ParallelMetaBlocker:
         if not weights:
             return {}
         incidence_broadcast = self.context.broadcast(incident_edge_index(weights))
-        reciprocal = pruning.reciprocal
-
-        def retain(node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
-            incident = incidence_broadcast.value.get(node)
-            if not incident:
-                return []
-            threshold = sum(w for _p, w in incident) / len(incident)
-            return [(pair, (w, 1)) for pair, w in incident if w >= threshold]
-
         votes = (
-            node_rdd.flatMap(retain, name="wnp.votes")
-            .reduceByKey(lambda a, b: (a[0], a[1] + b[1]))
+            node_rdd.flatMap(_WeightedNodeVotes(incidence_broadcast), name="wnp.votes")
+            .reduceByKey(_merge_votes)
             .collectAsMap()
         )
-        required = 2 if reciprocal else 1
+        required = 2 if pruning.reciprocal else 1
         return {pair: w for pair, (w, count) in votes.items() if count >= required}
 
     def _run_node_cardinality(
@@ -351,17 +411,11 @@ class ParallelMetaBlocker:
             total_assignments = sum(index.node_block_count)
             k = max(1, total_assignments // num_profiles - 1)
         incidence_broadcast = self.context.broadcast(incident_edge_index(weights))
-
-        def retain(node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
-            incident = incidence_broadcast.value.get(node)
-            if not incident:
-                return []
-            ranked = sorted(incident, key=lambda item: (-item[1], item[0]))
-            return [(pair, (w, 1)) for pair, w in ranked[:k]]
-
         votes = (
-            node_rdd.flatMap(retain, name="cnp.votes")
-            .reduceByKey(lambda a, b: (a[0], a[1] + b[1]))
+            node_rdd.flatMap(
+                _CardinalityNodeVotes(incidence_broadcast, k), name="cnp.votes"
+            )
+            .reduceByKey(_merge_votes)
             .collectAsMap()
         )
         required = 2 if pruning.reciprocal else 1

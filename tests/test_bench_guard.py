@@ -23,3 +23,11 @@ def test_kernel_speedup_within_tolerance_of_baseline():
 
     failures = check_against_baseline(tolerance=0.2)
     assert not failures, "; ".join(failures)
+
+
+def test_e2e_engine_overhead_within_tolerance_of_baseline():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_guard import check_e2e_against_baseline
+
+    failures = check_e2e_against_baseline(tolerance=0.5)
+    assert not failures, "; ".join(failures)

@@ -92,6 +92,54 @@ class TestRunCommand:
         assert exit_code == 2
         assert "error:" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("executor", ["serial", "process"])
+    def test_engine_executor_smoke(self, capsys, executor):
+        """Tiny end-to-end pipeline on the mini engine under both executors.
+
+        ``--executor`` implies ``--engine``; the process executor must
+        complete the full pipeline (shippable stages on the pool, closure
+        stages falling back to the driver) with a zero exit code.
+        """
+        arguments = ["run", "--synthetic", "abt-buy", "--entities", "40",
+                     "--executor", executor]
+        if executor == "process":
+            arguments += ["--workers", "2"]
+        exit_code = main(arguments)
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "pipeline stages" in captured
+        assert "summary:" in captured
+
+    def test_executor_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "--synthetic", "abt-buy", "--executor", "process", "--workers", "4"]
+        )
+        assert args.executor == "process"
+        assert args.workers == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--synthetic", "abt-buy", "--executor", "thread"])
+
+    def test_serial_with_workers_is_a_clean_error(self, capsys):
+        exit_code = main(
+            ["run", "--synthetic", "abt-buy", "--entities", "30",
+             "--executor", "serial", "--workers", "2"]
+        )
+        assert exit_code == 2
+        assert "no worker count" in capsys.readouterr().err
+
+    def test_workers_alone_implies_process_executor(self, capsys):
+        """--workers without --executor must not be silently ignored."""
+        from repro.cli import _executor_spec
+
+        args = build_parser().parse_args(
+            ["run", "--synthetic", "abt-buy", "--workers", "2"]
+        )
+        assert _executor_spec(args) == "process:2"
+        exit_code = main(
+            ["run", "--synthetic", "abt-buy", "--entities", "30", "--workers", "2"]
+        )
+        assert exit_code == 0
+
 
 class TestPartitionCommand:
     def test_partition_output(self, capsys):

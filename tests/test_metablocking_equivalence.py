@@ -18,6 +18,7 @@ import pytest
 
 from repro.blocking.block import Block, BlockCollection
 from repro.engine.context import EngineContext
+from repro.engine.executors import MultiprocessingExecutor
 from repro.metablocking.metablocker import MetaBlocker
 from repro.metablocking.parallel import ParallelMetaBlocker
 from repro.metablocking.pruning import CardinalityNodePruning
@@ -84,12 +85,28 @@ def dirty_blocks():
     return _random_dirty_collection(seed=202)
 
 
-def _assert_bit_for_bit(blocks: BlockCollection, weighting, pruning, use_entropy):
+@pytest.fixture(scope="module")
+def process_executor():
+    """One shared 2-worker pool for the whole multiprocessing grid.
+
+    ``on_unpicklable="raise"`` makes the grid double as a regression guard
+    for the picklability of every meta-blocking stage chain: a stage that
+    silently stopped shipping would fail loudly here.
+    """
+    executor = MultiprocessingExecutor(max_workers=2, on_unpicklable="raise")
+    yield executor
+    executor.close()
+
+
+def _assert_bit_for_bit(blocks: BlockCollection, weighting, pruning, use_entropy, executor=None):
     sequential = MetaBlocker(
         weighting, _make_pruning(pruning), use_entropy=use_entropy
     ).run(blocks)
     parallel = ParallelMetaBlocker(
-        EngineContext(4), weighting, _make_pruning(pruning), use_entropy=use_entropy
+        EngineContext(4, executor=executor),
+        weighting,
+        _make_pruning(pruning),
+        use_entropy=use_entropy,
     ).run(blocks)
     # Dict equality covers both the retained pairs and their exact float
     # weights — any accumulation-order divergence between the two paths
@@ -119,5 +136,42 @@ class TestFullGridEquivalence:
         reference = MetaBlocker("ejs", "rwnp", use_entropy=True).run(clean_blocks)
         parallel = ParallelMetaBlocker(
             EngineContext(partitions), "ejs", "rwnp", use_entropy=True
+        ).run(clean_blocks)
+        assert parallel.retained_edges == reference.retained_edges
+
+
+class TestProcessExecutorGridEquivalence:
+    """The multiprocessing executor must also match bit-for-bit.
+
+    Worker processes rebuild the broadcast CSR index and their own scratch
+    kernels from pickles; identical accumulation order plus partition-order
+    result collection means the retained edges and their float weights still
+    equal the sequential path exactly, for every weighting × pruning combo.
+    """
+
+    @pytest.mark.parametrize("pruning", PRUNINGS)
+    @pytest.mark.parametrize("weighting", WEIGHTINGS)
+    def test_clean_clean_process(self, clean_blocks, process_executor, weighting, pruning):
+        _assert_bit_for_bit(
+            clean_blocks, weighting, pruning, use_entropy=True, executor=process_executor
+        )
+
+    @pytest.mark.parametrize("pruning", PRUNINGS)
+    @pytest.mark.parametrize("weighting", WEIGHTINGS)
+    def test_dirty_process(self, dirty_blocks, process_executor, weighting, pruning):
+        _assert_bit_for_bit(
+            dirty_blocks, weighting, pruning, use_entropy=False, executor=process_executor
+        )
+
+    @pytest.mark.parametrize("partitions", [1, 3, 16])
+    def test_partition_count_invariant_under_process_executor(
+        self, clean_blocks, process_executor, partitions
+    ):
+        reference = MetaBlocker("ejs", "rwnp", use_entropy=True).run(clean_blocks)
+        parallel = ParallelMetaBlocker(
+            EngineContext(partitions, executor=process_executor),
+            "ejs",
+            "rwnp",
+            use_entropy=True,
         ).run(clean_blocks)
         assert parallel.retained_edges == reference.retained_edges
