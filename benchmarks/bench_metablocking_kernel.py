@@ -40,6 +40,10 @@ from repro.metablocking.metablocker import MetaBlocker
 from repro.metablocking.parallel import (
     CompactBlockIndex,
     ParallelMetaBlocker,
+    _CardinalityNodeVotes,
+    _sum_votes,
+    _WeightedNodeVotes,
+    edge_id_incidence,
     incident_edge_index,
 )
 from repro.metablocking.weights import WeightingScheme, compute_edge_weight
@@ -251,6 +255,128 @@ def _ratio_entry(legacy_s: float, kernel_s: float) -> dict:
     }
 
 
+# ------------------------------------------------------- vote wire format
+# The pre-edge-id vote tasks, kept here as the reference point of the shuffle
+# wire-format benchmark: each vote crossed the shuffle as a full
+# ((a, b), (weight, count)) tuple instead of a compact (edge id, count) pair.
+
+
+class _LegacyTupleWnpVotes:
+    __slots__ = ("incidence_broadcast",)
+
+    def __init__(self, incidence_broadcast) -> None:
+        self.incidence_broadcast = incidence_broadcast
+
+    def __call__(self, node):
+        incident = self.incidence_broadcast.value.get(node)
+        if not incident:
+            return []
+        threshold = sum(w for _p, w in incident) / len(incident)
+        return [(pair, (w, 1)) for pair, w in incident if w >= threshold]
+
+
+class _LegacyTupleCnpVotes:
+    __slots__ = ("incidence_broadcast", "k")
+
+    def __init__(self, incidence_broadcast, k) -> None:
+        self.incidence_broadcast = incidence_broadcast
+        self.k = k
+
+    def __call__(self, node):
+        incident = self.incidence_broadcast.value.get(node)
+        if not incident:
+            return []
+        ranked = sorted(incident, key=lambda item: (-item[1], item[0]))
+        return [(pair, (w, 1)) for pair, w in ranked[: self.k]]
+
+
+def _legacy_merge_votes(a, b):
+    return (a[0], a[1] + b[1])
+
+
+def _vote_shuffle_volume(node_ids, vote_task, reducer, name):
+    """Run one vote job on a fresh serial context; return its shuffle volume.
+
+    The measured quantity is the vote-stage map output — the records and
+    pickled bytes that cross the shuffle (and, under a process executor, the
+    IPC boundary).  It is deterministic: no timing involved.
+    """
+    context = EngineContext(4, executor="serial")
+    rdd = context.parallelize(node_ids).flatMap(vote_task, name=name)
+    rdd.reduceByKey(reducer).collectAsMap()
+    map_rows = [
+        row
+        for row in context.scheduler.stage_table()
+        if str(row["description"]).startswith(f"{name}.reduceByKey.shuffle.map")
+    ]
+    assert map_rows, "vote map stage missing from the stage table"
+    return (
+        sum(row["shuffle_write"] for row in map_rows),
+        sum(row["shuffle_write_bytes"] for row in map_rows),
+    )
+
+
+def run_shuffle_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
+    """Vote-stage shuffle volume: legacy tuple format vs compact edge ids.
+
+    Both formats run the same WNP / CNP vote jobs over the same weights and
+    broadcast incidence; only the wire records differ.  Writes the
+    ``shuffle_entries`` baseline section guarded by ``scripts/bench_guard.py``.
+    """
+    entries = []
+    for num_entities in sizes:
+        _dataset, blocks = prepare_blocks(num_entities)
+        csr_index = CSRBlockIndex.from_blocks(blocks)
+        weights = kernel_edge_weights(csr_index)
+        node_ids = list(csr_index.node_ids)
+        total_assignments = sum(csr_index.node_block_count)
+        k = max(1, total_assignments // max(1, csr_index.num_nodes) - 1)
+
+        # One throwaway context per job keeps the stage tables separable;
+        # broadcasts are re-created because they are context-owned.
+        legacy_context = EngineContext(4, executor="serial")
+        legacy_incidence = legacy_context.broadcast(incident_edge_index(weights))
+        compact_context = EngineContext(4, executor="serial")
+        _edge_list, incidence = edge_id_incidence(weights)
+        compact_incidence = compact_context.broadcast(incidence)
+
+        entry = {"num_entities": num_entities, "edges": len(weights)}
+        for job, legacy_task, compact_task in (
+            (
+                "wnp",
+                _LegacyTupleWnpVotes(legacy_incidence),
+                _WeightedNodeVotes(compact_incidence),
+            ),
+            (
+                "cnp",
+                _LegacyTupleCnpVotes(legacy_incidence, k),
+                _CardinalityNodeVotes(compact_incidence, k),
+            ),
+        ):
+            tuple_records, tuple_bytes = _vote_shuffle_volume(
+                node_ids, legacy_task, _legacy_merge_votes, f"legacy.{job}.votes"
+            )
+            edge_records, edge_bytes = _vote_shuffle_volume(
+                node_ids, compact_task, _sum_votes, f"{job}.votes"
+            )
+            entry[job] = {
+                "tuple_records": tuple_records,
+                "tuple_bytes": tuple_bytes,
+                "edge_id_records": edge_records,
+                "edge_id_bytes": edge_bytes,
+                "bytes_reduction": round(1.0 - edge_bytes / tuple_bytes, 4),
+            }
+        entries.append(entry)
+        print(
+            f"[{num_entities:>4} entities] vote shuffle | "
+            f"wnp {entry['wnp']['tuple_bytes']:>9}B -> {entry['wnp']['edge_id_bytes']:>8}B "
+            f"(-{entry['wnp']['bytes_reduction']:.0%}) | "
+            f"cnp {entry['cnp']['tuple_bytes']:>9}B -> {entry['cnp']['edge_id_bytes']:>8}B "
+            f"(-{entry['cnp']['bytes_reduction']:.0%})"
+        )
+    return entries
+
+
 # --------------------------------------------------------------- end-to-end
 def _sequential_metablocking(blocks):
     return MetaBlocker("cbs", "wnp").run(blocks)
@@ -312,10 +438,14 @@ def main(argv=None) -> int:
         "--skip-e2e", action="store_true",
         help="keep the committed e2e entries; only refresh the kernel section",
     )
+    parser.add_argument(
+        "--skip-shuffle", action="store_true",
+        help="keep the committed shuffle entries; skip the wire-format section",
+    )
     args = parser.parse_args(argv)
 
     existing = {}
-    if (args.skip_kernel or args.skip_e2e) and args.output.exists():
+    if (args.skip_kernel or args.skip_e2e or args.skip_shuffle) and args.output.exists():
         existing = json.loads(args.output.read_text())
     entries = (
         existing.get("entries", []) if args.skip_kernel else run_benchmark(args.sizes)
@@ -325,11 +455,17 @@ def main(argv=None) -> int:
         if args.skip_e2e
         else run_e2e_benchmark(args.sizes)
     )
+    shuffle_entries = (
+        existing.get("shuffle_entries", [])
+        if args.skip_shuffle
+        else run_shuffle_benchmark(args.sizes)
+    )
     if not args.dry_run:
         payload = {
             "benchmark": "metablocking_kernel",
             "entries": entries,
             "e2e_entries": e2e_entries,
+            "shuffle_entries": shuffle_entries,
         }
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline written to {args.output}")

@@ -1,6 +1,6 @@
 """Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Two guards, both built on ratios that are largely machine-independent and
+Three guards, all built on ratios that are largely machine-independent and
 compared against the committed ``BENCH_metablocking.json`` baseline:
 
 * **kernel** — re-runs ``benchmarks/bench_metablocking_kernel.py`` at its
@@ -12,6 +12,11 @@ compared against the committed ``BENCH_metablocking.json`` baseline:
   ratio* (engine wall-clock / sequential wall-clock).  Fails when the
   engine plumbing became more than ``1 + tolerance`` times as expensive
   relative to the algorithmic work as the committed baseline.
+* **shuffle wire format** — re-measures the WNP/CNP vote-stage shuffle
+  volume (records and pickled bytes) of the compact edge-id format against
+  the legacy ``((a, b), (weight, count))`` tuple format.  Deterministic (no
+  timing): fails when the byte reduction drops below the hard 40 percent
+  floor or regresses below ``1 - tolerance`` of the committed reduction.
 
 Usage::
 
@@ -96,6 +101,61 @@ def check_e2e_against_baseline(
     return []
 
 
+SHUFFLE_FLOOR = 0.40  # acceptance floor: ≥40% fewer vote-stage shuffle bytes
+SHUFFLE_JOBS = ("wnp", "cnp")
+
+
+def check_shuffle_against_baseline(
+    tolerance: float = 0.1, baseline_path: Path = BASELINE_PATH
+) -> list[str]:
+    """Guard the vote-stage shuffle wire format; return failure messages.
+
+    The measured quantity is deterministic (pickled bytes of the vote
+    records, no wall-clock), so the tolerance only absorbs dataset-shape
+    drift when the synthetic generator changes, and a tight default is safe.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_metablocking_kernel import run_shuffle_benchmark
+
+    baseline = json.loads(baseline_path.read_text())
+    shuffle_entries = baseline.get("shuffle_entries")
+    if not shuffle_entries:
+        return [
+            "no shuffle baseline committed — regenerate with "
+            "`python benchmarks/bench_metablocking_kernel.py`"
+        ]
+    failures: list[str] = []
+    # The acceptance criterion lives on the *largest* committed scenario.
+    largest = max(shuffle_entries, key=lambda entry: entry["num_entities"])
+    for job in SHUFFLE_JOBS:
+        committed = largest[job]["bytes_reduction"]
+        if committed < SHUFFLE_FLOOR:
+            failures.append(
+                f"shuffle/{job}: committed byte reduction {committed:.1%} on the "
+                f"largest scenario is below the {SHUFFLE_FLOOR:.0%} floor"
+            )
+    # Re-measure at the smallest size (fast, still deterministic).
+    baseline_entry = shuffle_entries[0]
+    guard_size = baseline_entry["num_entities"]
+    current_entry = run_shuffle_benchmark(sizes=[guard_size])[0]
+    for job in SHUFFLE_JOBS:
+        expected = baseline_entry[job]["bytes_reduction"]
+        measured = current_entry[job]["bytes_reduction"]
+        floor = max(SHUFFLE_FLOOR, expected * (1.0 - tolerance))
+        if measured < floor:
+            failures.append(
+                f"shuffle/{job}: vote-stage byte reduction regressed to "
+                f"{measured:.1%} (baseline {expected:.1%}, floor {floor:.1%})"
+            )
+        if current_entry[job]["edge_id_records"] > baseline_entry[job]["edge_id_records"]:
+            failures.append(
+                f"shuffle/{job}: shuffled records grew to "
+                f"{current_entry[job]['edge_id_records']} "
+                f"(baseline {baseline_entry[job]['edge_id_records']})"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -110,18 +170,25 @@ def main(argv=None) -> int:
         default=0.5,
         help="allowed fractional e2e overhead increase (default 0.5 = 50%%)",
     )
+    parser.add_argument(
+        "--shuffle-tolerance",
+        type=float,
+        default=0.1,
+        help="allowed fractional shuffle byte-reduction regression (default 0.1 = 10%%)",
+    )
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     args = parser.parse_args(argv)
 
     failures = check_against_baseline(args.tolerance, args.baseline)
     failures += check_e2e_against_baseline(args.e2e_tolerance, args.baseline)
+    failures += check_shuffle_against_baseline(args.shuffle_tolerance, args.baseline)
     if failures:
         for failure in failures:
             print(f"BENCH GUARD FAIL — {failure}", file=sys.stderr)
         return 1
     print(
-        "bench guard ok: kernel speedups and e2e engine overhead within "
-        "tolerance of the committed baseline"
+        "bench guard ok: kernel speedups, e2e engine overhead and vote-stage "
+        "shuffle wire format within tolerance of the committed baseline"
     )
     return 0
 

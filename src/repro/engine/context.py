@@ -117,6 +117,7 @@ class EngineContext:
             "stages": len(self.scheduler.stages),
             "tasks": self.scheduler.total_tasks,
             "shuffle_records": self.scheduler.total_shuffle_records,
+            "shuffle_bytes": self.scheduler.total_shuffle_bytes,
             "broadcasts": len(self._broadcasts),
             "accumulators": len(self._accumulators),
         }

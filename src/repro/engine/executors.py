@@ -1,16 +1,21 @@
-"""Pluggable stage executors: where the engine's narrow stages actually run.
+"""Pluggable stage executors: where the engine's stages actually run.
 
 The scheduler records *what* ran; an :class:`Executor` decides *where*.  Two
 implementations exist:
 
 * :class:`SerialExecutor` — runs every partition in the driver process, in
   partition order.  This is the historical behaviour and the default.
-* :class:`MultiprocessingExecutor` — ships each partition of a fused narrow
-  stage to a :class:`concurrent.futures.ProcessPoolExecutor` worker, turning
-  the engine's recorded task parallelism into real multi-core wall-clock
+* :class:`MultiprocessingExecutor` — ships each partition of a stage to a
+  :class:`concurrent.futures.ProcessPoolExecutor` worker, turning the
+  engine's recorded task parallelism into real multi-core wall-clock
   parallelism.
 
-A stage is shippable when its fused per-partition function chain pickles:
+Every physical stage routes through :meth:`Executor.run_stage`: fused narrow
+chains (see :class:`~repro.engine.rdd.MappedPartitionsRDD`) *and* the two
+phases of a shuffle — the map-side bucket/combine tasks and the reduce-side
+merge tasks of :func:`repro.engine.shuffle.execute_shuffle`.
+
+A stage is shippable when its per-partition function chain pickles:
 the chain is serialised **once per stage** in the driver (so an unpicklable
 closure fails fast with a clear :class:`~repro.exceptions.EngineError`
 instead of hanging a worker), and each worker task replays it over its own

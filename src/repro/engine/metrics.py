@@ -1,9 +1,10 @@
 """Task, stage and job level execution metrics.
 
 The engine records the same quantities a Spark UI exposes: per-task input and
-output record counts, shuffle read/write volume (approximated as record
-counts) and elapsed time.  The scalability benchmark uses these to report
-task-count, shuffle-volume and skew figures for the parallel meta-blocking.
+output record counts, shuffle read/write volume (records *and* pickled wire
+bytes — the real IPC cost of a process-executor shuffle) and elapsed time.
+The scalability benchmark uses these to report task-count, shuffle-volume and
+skew figures for the parallel meta-blocking.
 """
 
 from __future__ import annotations
@@ -25,6 +26,8 @@ class TaskMetrics:
     output_records: int = 0
     shuffle_read_records: int = 0
     shuffle_write_records: int = 0
+    shuffle_read_bytes: int = 0
+    shuffle_write_bytes: int = 0
     elapsed_seconds: float = 0.0
     worker: str = "driver"
 
@@ -75,6 +78,14 @@ class StageMetrics:
         return sum(t.shuffle_write_records for t in self.tasks)
 
     @property
+    def total_shuffle_read_bytes(self) -> int:
+        return sum(t.shuffle_read_bytes for t in self.tasks)
+
+    @property
+    def total_shuffle_write_bytes(self) -> int:
+        return sum(t.shuffle_write_bytes for t in self.tasks)
+
+    @property
     def max_task_records(self) -> int:
         """Largest per-task output — the numerator of the skew ratio."""
         if not self.tasks:
@@ -112,6 +123,10 @@ class JobMetrics:
     def total_shuffle_records(self) -> int:
         return sum(s.total_shuffle_write for s in self.stages)
 
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(s.total_shuffle_write_bytes for s in self.stages)
+
     def summary(self) -> dict[str, float]:
         """Return a flat summary dictionary suitable for benchmark reports."""
         return {
@@ -119,5 +134,6 @@ class JobMetrics:
             "stages": self.num_stages,
             "tasks": self.num_tasks,
             "shuffle_records": self.total_shuffle_records,
+            "shuffle_bytes": self.total_shuffle_bytes,
             "max_skew": max((s.skew for s in self.stages), default=0.0),
         }

@@ -29,6 +29,9 @@ class Partitioner:
     def __hash__(self) -> int:
         return hash((type(self).__name__, self.num_partitions))
 
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.num_partitions})"
+
 
 class HashPartitioner(Partitioner):
     """Deterministic hash partitioning (the engine's default for shuffles)."""

@@ -13,8 +13,12 @@ recomputed per action unless cached — the same contract Spark has.
 Narrow transformations (``map``, ``filter`` ...) run partition-by-partition
 without moving data.  Wide transformations (``reduceByKey``, ``groupByKey``,
 ``join`` ...) shuffle records through :mod:`repro.engine.shuffle` using a
-:class:`~repro.engine.partitioner.HashPartitioner`; the shuffle volume is
-recorded by the scheduler so scalability benchmarks can report it.
+:class:`~repro.engine.partitioner.HashPartitioner`: a map stage buckets (and
+map-side combines) each parent partition, a reduce stage merges each bucket
+across map outputs, and both stages dispatch through the context's executor —
+in worker processes under ``executor="process:N"``.  The shuffle volume
+(records and pickled wire bytes) is recorded per task by the scheduler so
+scalability benchmarks can report it.
 """
 
 from __future__ import annotations
@@ -27,10 +31,14 @@ from typing import Any, TYPE_CHECKING
 
 from repro.engine.partitioner import HashPartitioner, Partitioner
 from repro.engine.shuffle import (
-    group_by_key_partition,
-    map_side_combine,
-    reduce_by_key_partition,
-    shuffle_partitions,
+    CoGroupReduceTask,
+    ConcatReduceTask,
+    GroupByKeyTask,
+    MapSideCombiner,
+    ReduceByKeyTask,
+    ShuffleReduceTask,
+    ZeroSeededCombiner,
+    execute_shuffle,
 )
 from repro.exceptions import EngineError
 from repro.utils.hashing import stable_hash
@@ -271,7 +279,9 @@ class RDD:
 
     def partitionBy(self, partitioner: Partitioner) -> "RDD":
         """Shuffle a pair RDD so each key lands on ``partitioner.partition(key)``."""
-        return ShuffledRDD(self, partitioner, post=None, name=f"{self.name}.partitionBy")
+        return ShuffledRDD(
+            self, partitioner, ConcatReduceTask(), name=f"{self.name}.partitionBy"
+        )
 
     def repartition(self, num_partitions: int) -> "RDD":
         """Redistribute elements round-robin over ``num_partitions`` partitions."""
@@ -287,8 +297,8 @@ class RDD:
         return ShuffledRDD(
             self,
             partitioner,
-            post=lambda partition: reduce_by_key_partition(partition, reducer),
-            map_side=lambda partition: map_side_combine(partition, lambda v: v, reducer),
+            ReduceByKeyTask(reducer),
+            combiner=MapSideCombiner(reducer),
             name=f"{self.name}.reduceByKey",
         )
 
@@ -298,7 +308,7 @@ class RDD:
         return ShuffledRDD(
             self,
             partitioner,
-            post=group_by_key_partition,
+            GroupByKeyTask(),
             name=f"{self.name}.groupByKey",
         )
 
@@ -310,28 +320,12 @@ class RDD:
         num_partitions: int | None = None,
     ) -> "RDD":
         """Aggregate values per key with distinct within/between partition ops."""
-        def post(partition: Sequence[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
-            accumulators: dict[Any, Any] = {}
-            for key, value in partition:
-                if key in accumulators:
-                    accumulators[key] = comb_op(accumulators[key], value)
-                else:
-                    accumulators[key] = value
-            return list(accumulators.items())
-
-        def map_side(partition: Sequence[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
-            accumulators: dict[Any, Any] = {}
-            for key, value in partition:
-                current = accumulators.get(key, zero)
-                accumulators[key] = seq_op(current, value)
-            return list(accumulators.items())
-
         partitioner = HashPartitioner(num_partitions or self.num_partitions)
         return ShuffledRDD(
             self,
             partitioner,
-            post=post,
-            map_side=map_side,
+            ReduceByKeyTask(comb_op),
+            combiner=MapSideCombiner(seq_op, create=ZeroSeededCombiner(zero, seq_op)),
             name=f"{self.name}.aggregateByKey",
         )
 
@@ -600,47 +594,47 @@ class RepartitionedRDD(RDD):
 
 
 class ShuffledRDD(RDD):
-    """Wide transformation: hash-shuffle a pair RDD, then post-process buckets."""
+    """Wide transformation: hash-shuffle a pair RDD through the executor layer.
+
+    The shuffle runs as two executor-dispatched stages (see
+    :func:`repro.engine.shuffle.execute_shuffle`): map tasks bucket and
+    optionally pre-combine each parent partition, reduce tasks merge each
+    bucket's chunks across the map outputs.  Under a process executor both
+    phases run in worker processes; under the serial executor the result is
+    byte-identical to the historical in-driver shuffle.
+    """
 
     def __init__(
         self,
         parent: RDD,
         partitioner: Partitioner,
-        post: Callable[[Sequence[tuple[Any, Any]]], list[Any]] | None,
-        map_side: Callable[[Sequence[tuple[Any, Any]]], list[tuple[Any, Any]]] | None = None,
+        reduce_task: ShuffleReduceTask,
+        combiner: MapSideCombiner | None = None,
         name: str = "shuffled",
     ) -> None:
         super().__init__(parent.context, partitioner.num_partitions, name)
         self._parent = parent
         self._partitioner = partitioner
-        self._post = post
-        self._map_side = map_side
+        self._reduce_task = reduce_task
+        self._combiner = combiner
 
     def _compute(self) -> list[list[Any]]:
-        parent_partitions = self._parent.partitions()
-        if self._map_side is not None:
-            parent_partitions = [self._map_side(p) for p in parent_partitions]
-        buckets, shuffled = shuffle_partitions(parent_partitions, self._partitioner)
-        stage = self.context.scheduler.new_stage(f"{self.name}.shuffle")
-        for index, bucket in enumerate(buckets):
-            self.context.scheduler.record_task(
-                stage,
-                index,
-                input_records=len(bucket),
-                shuffle_read_records=len(bucket),
-                shuffle_write_records=0,
-                output_records=len(bucket),
-            )
-        # Attribute the total shuffle write volume to the first task for job totals.
-        if stage.tasks:
-            stage.tasks[0].shuffle_write_records = shuffled
-        if self._post is None:
-            return [list(bucket) for bucket in buckets]
-        return [list(self._post(bucket)) for bucket in buckets]
+        return execute_shuffle(
+            self.context,
+            self._partitioner,
+            [(self._parent.partitions(), self._combiner)],
+            self._reduce_task,
+            f"{self.name}.shuffle",
+        )
 
 
 class CoGroupedRDD(RDD):
-    """Groups two pair RDDs by key into ``(key, (values_left, values_right))``."""
+    """Groups two pair RDDs by key into ``(key, (values_left, values_right))``.
+
+    A two-sided shuffle: one map stage per parent, one reduce stage merging
+    each bucket's tagged chunks (left side first), all dispatched through the
+    executor layer.
+    """
 
     def __init__(self, left: RDD, right: RDD, num_partitions: int | None) -> None:
         partitions = num_partitions or max(left.num_partitions, right.num_partitions)
@@ -650,32 +644,13 @@ class CoGroupedRDD(RDD):
         self._partitioner = HashPartitioner(partitions)
 
     def _compute(self) -> list[list[Any]]:
-        left_buckets, left_shuffled = shuffle_partitions(
-            self._left.partitions(), self._partitioner
+        return execute_shuffle(
+            self.context,
+            self._partitioner,
+            [(self._left.partitions(), None), (self._right.partitions(), None)],
+            CoGroupReduceTask(),
+            f"{self.name}.shuffle",
         )
-        right_buckets, right_shuffled = shuffle_partitions(
-            self._right.partitions(), self._partitioner
-        )
-        stage = self.context.scheduler.new_stage(f"{self.name}.shuffle")
-        result: list[list[Any]] = []
-        for index in range(self.num_partitions):
-            grouped: dict[Any, tuple[list[Any], list[Any]]] = defaultdict(lambda: ([], []))
-            for key, value in left_buckets[index]:
-                grouped[key][0].append(value)
-            for key, value in right_buckets[index]:
-                grouped[key][1].append(value)
-            partition = [(key, (values[0], values[1])) for key, values in grouped.items()]
-            result.append(partition)
-            self.context.scheduler.record_task(
-                stage,
-                index,
-                input_records=len(left_buckets[index]) + len(right_buckets[index]),
-                shuffle_read_records=len(left_buckets[index]) + len(right_buckets[index]),
-                output_records=len(partition),
-            )
-        if stage.tasks:
-            stage.tasks[0].shuffle_write_records = left_shuffled + right_shuffled
-        return result
 
 
 class SortedRDD(RDD):

@@ -1,10 +1,11 @@
 """Stage/task bookkeeping for the engine.
 
-The scheduler does not decide *where* tasks run (everything executes in the
-driver process); it records *what* ran: one :class:`StageMetrics` per
-materialised RDD, one :class:`TaskMetrics` per partition, grouped into
-:class:`JobMetrics` per action.  This is the information the scalability
-benchmarks report.
+The scheduler does not decide *where* tasks run (the executor layer does); it
+records *what* ran and *where*: one :class:`StageMetrics` per materialised
+RDD plus one per shuffle map/reduce phase, one :class:`TaskMetrics` per
+partition (carrying the worker identity and the shuffle records/bytes it
+moved), grouped into :class:`JobMetrics` per action.  This is the
+information the scalability benchmarks report.
 """
 
 from __future__ import annotations
@@ -67,6 +68,8 @@ class Scheduler:
         output_records: int = 0,
         shuffle_read_records: int = 0,
         shuffle_write_records: int = 0,
+        shuffle_read_bytes: int = 0,
+        shuffle_write_bytes: int = 0,
         elapsed_seconds: float = 0.0,
         worker: str = "driver",
     ) -> TaskMetrics:
@@ -78,6 +81,8 @@ class Scheduler:
             output_records=output_records,
             shuffle_read_records=shuffle_read_records,
             shuffle_write_records=shuffle_write_records,
+            shuffle_read_bytes=shuffle_read_bytes,
+            shuffle_write_bytes=shuffle_write_bytes,
             elapsed_seconds=elapsed_seconds,
             worker=worker,
         )
@@ -92,6 +97,11 @@ class Scheduler:
     @property
     def total_shuffle_records(self) -> int:
         return sum(stage.total_shuffle_write for stage in self.stages)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        """Pickled wire bytes written across all shuffle map stages."""
+        return sum(stage.total_shuffle_write_bytes for stage in self.stages)
 
     @property
     def total_output_records(self) -> int:
@@ -121,6 +131,8 @@ class Scheduler:
                 "records_out": stage.total_output_records,
                 "shuffle_read": stage.total_shuffle_read,
                 "shuffle_write": stage.total_shuffle_write,
+                "shuffle_read_bytes": stage.total_shuffle_read_bytes,
+                "shuffle_write_bytes": stage.total_shuffle_write_bytes,
                 "elapsed_s": round(stage.total_elapsed, 6),
                 "skew": round(stage.skew, 3),
             }

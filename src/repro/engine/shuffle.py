@@ -1,71 +1,314 @@
-"""Shuffle machinery: redistribute key/value records across partitions.
+"""Parallel shuffle subsystem: redistribute key/value records across partitions.
 
-A shuffle takes the materialised partitions of a parent pair-RDD, optionally
-applies a map-side combiner (as Spark does for ``reduceByKey``), then buckets
-every record by the target partitioner.  The number of records written to the
-shuffle is recorded so benchmarks can report communication volume.
+A shuffle is executed Spark-style, as two physical stages that both dispatch
+through the context's :class:`~repro.engine.executors.Executor`:
+
+* **map side** — one :class:`ShuffleMapTask` per parent partition buckets the
+  partition's records by the target partitioner, applying the optional
+  :class:`MapSideCombiner` *inside the task* (Spark's map-side combine for
+  ``reduceByKey``/``aggregateByKey``), so pre-aggregation happens in the
+  worker processes and only combined records cross the shuffle boundary.
+* **reduce side** — one :class:`ShuffleReduceTask` per output partition merges
+  its bucket's chunks across all map outputs (concatenation, per-key reduce,
+  grouping or two-sided cogroup), again inside a worker task.
+
+Between the two stages the driver only transposes the shuffle blocks (map
+output ``m``, bucket ``r`` → reduce input ``r``, chunk ``m``) and records the
+communication volume: shuffled records *and* pickled bytes per task, the wire
+format the scalability benchmarks report.
+
+Every task object in this module is a module-level picklable callable with
+bound arguments (never a closure), so a shuffle whose user functions pickle
+ships to the multiprocessing executor unchanged; the chunk order is fixed
+(side-major, then map-partition order), which keeps the reduce-side merge —
+and therefore every downstream float accumulation — bit-for-bit identical to
+a serial in-driver run.
 """
 
 from __future__ import annotations
 
+import pickle
 from collections import defaultdict
-from collections.abc import Callable, Sequence
-from typing import Any
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.engine.partitioner import Partitioner
 
-
-def map_side_combine(
-    partition: Sequence[tuple[Any, Any]],
-    create_combiner: Callable[[Any], Any],
-    merge_value: Callable[[Any, Any], Any],
-) -> list[tuple[Any, Any]]:
-    """Pre-aggregate a partition before the shuffle (Spark's map-side combine)."""
-    combined: dict[Any, Any] = {}
-    for key, value in partition:
-        if key in combined:
-            combined[key] = merge_value(combined[key], value)
-        else:
-            combined[key] = create_combiner(value)
-    return list(combined.items())
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.engine.context import EngineContext
 
 
-def shuffle_partitions(
-    parent_partitions: Sequence[Sequence[tuple[Any, Any]]],
-    partitioner: Partitioner,
-) -> tuple[list[list[tuple[Any, Any]]], int]:
-    """Redistribute ``(key, value)`` records according to ``partitioner``.
+def _identity(value: Any) -> Any:
+    """Default ``create_combiner``: the first value of a key is kept as-is."""
+    return value
 
-    Returns the new partition list and the number of shuffled records.
+
+def chunk_bytes(chunk: Sequence[Any]) -> int:
+    """Wire size of one shuffle block: the pickled length of its record list.
+
+    This is exactly what the multiprocessing executor ships per block, so the
+    recorded shuffle bytes are the real IPC volume of a process-pool run (and
+    the would-be volume of a serial run).
     """
-    buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(partitioner.num_partitions)]
-    shuffled = 0
-    for partition in parent_partitions:
-        for key, value in partition:
-            buckets[partitioner.partition(key)].append((key, value))
-            shuffled += 1
-    return buckets, shuffled
+    return len(pickle.dumps(list(chunk), protocol=pickle.HIGHEST_PROTOCOL))
 
 
-def group_by_key_partition(
-    partition: Sequence[tuple[Any, Any]],
-) -> list[tuple[Any, list[Any]]]:
-    """Group the values of each key within a single (already shuffled) partition."""
-    grouped: dict[Any, list[Any]] = defaultdict(list)
-    for key, value in partition:
-        grouped[key].append(value)
-    return list(grouped.items())
+class MapSideCombiner:
+    """Picklable pre-aggregation policy applied inside each map task.
+
+    ``create(value)`` builds the combined value on a key's first occurrence;
+    ``merge(combined, value)`` folds every later occurrence in encounter
+    order.  For ``reduceByKey`` both are the user reducer (with an identity
+    ``create``); for ``aggregateByKey`` they are ``seq_op`` seeded with the
+    zero value.
+    """
+
+    __slots__ = ("create", "merge")
+
+    def __init__(
+        self,
+        merge: Callable[[Any, Any], Any],
+        create: Callable[[Any], Any] = _identity,
+    ) -> None:
+        self.create = create
+        self.merge = merge
+
+    def __repr__(self) -> str:
+        return f"MapSideCombiner(merge={self.merge!r}, create={self.create!r})"
 
 
-def reduce_by_key_partition(
-    partition: Sequence[tuple[Any, Any]],
-    reducer: Callable[[Any, Any], Any],
-) -> list[tuple[Any, Any]]:
-    """Reduce the values of each key within a single (already shuffled) partition."""
-    reduced: dict[Any, Any] = {}
-    for key, value in partition:
-        if key in reduced:
-            reduced[key] = reducer(reduced[key], value)
+class ZeroSeededCombiner:
+    """``aggregateByKey``'s map-side ``create``: fold the value into ``zero``."""
+
+    __slots__ = ("zero", "seq_op")
+
+    def __init__(self, zero: Any, seq_op: Callable[[Any, Any], Any]) -> None:
+        self.zero = zero
+        self.seq_op = seq_op
+
+    def __call__(self, value: Any) -> Any:
+        return self.seq_op(self.zero, value)
+
+
+class ShuffleMapTask:
+    """Map-side shuffle task: bucket (and pre-combine) one parent partition.
+
+    Runs as a one-function stage chain on the executor; yields exactly one
+    element — the list of ``num_partitions`` shuffle blocks — so the stage's
+    output partition *is* the task's map output.  With a combiner, each
+    bucket is a per-key dict in first-touch order; the per-bucket dicts are
+    order-equivalent to combining the whole partition first and bucketing
+    after (a key's bucket never changes), which preserves the historical
+    record order exactly.
+    """
+
+    __slots__ = ("partitioner", "combiner")
+
+    def __init__(
+        self, partitioner: Partitioner, combiner: MapSideCombiner | None = None
+    ) -> None:
+        self.partitioner = partitioner
+        self.combiner = combiner
+
+    def __call__(
+        self, _index: int, records: Iterator[tuple[Any, Any]]
+    ) -> Iterable[list[list[tuple[Any, Any]]]]:
+        num_partitions = self.partitioner.num_partitions
+        partition_of = self.partitioner.partition
+        combiner = self.combiner
+        if combiner is None:
+            buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(num_partitions)]
+            for record in records:
+                buckets[partition_of(record[0])].append(record)
         else:
-            reduced[key] = value
-    return list(reduced.items())
+            create, merge = combiner.create, combiner.merge
+            combined: list[dict[Any, Any]] = [{} for _ in range(num_partitions)]
+            for key, value in records:
+                bucket = combined[partition_of(key)]
+                if key in bucket:
+                    bucket[key] = merge(bucket[key], value)
+                else:
+                    bucket[key] = create(value)
+            buckets = [list(bucket.items()) for bucket in combined]
+        yield buckets
+
+    def __repr__(self) -> str:
+        return f"ShuffleMapTask({self.partitioner!r}, combiner={self.combiner!r})"
+
+
+class ShuffleReduceTask:
+    """Base of the reduce-side merge tasks.
+
+    Runs as a one-function stage chain on the executor; the task's input
+    partition is the list of shuffle-block chunks routed to this reducer, in
+    side-major then map-partition order.
+    """
+
+    __slots__ = ()
+
+    def __call__(self, _index: int, chunks: Iterator[Any]) -> Iterable[Any]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ConcatReduceTask(ShuffleReduceTask):
+    """``partitionBy``: keep the shuffled records as-is, in chunk order."""
+
+    __slots__ = ()
+
+    def __call__(
+        self, _index: int, chunks: Iterator[list[tuple[Any, Any]]]
+    ) -> Iterable[tuple[Any, Any]]:
+        for chunk in chunks:
+            yield from chunk
+
+
+class ReduceByKeyTask(ShuffleReduceTask):
+    """Merge one bucket's chunks with a per-key reducer (encounter order).
+
+    The first value of a key is kept as-is and every later one folded with
+    ``reducer`` — the combine step of ``reduceByKey`` *and* of
+    ``aggregateByKey`` (whose ``comb_op`` merges map-side accumulators).
+    """
+
+    __slots__ = ("reducer",)
+
+    def __init__(self, reducer: Callable[[Any, Any], Any]) -> None:
+        self.reducer = reducer
+
+    def __call__(
+        self, _index: int, chunks: Iterator[list[tuple[Any, Any]]]
+    ) -> Iterable[tuple[Any, Any]]:
+        reducer = self.reducer
+        reduced: dict[Any, Any] = {}
+        for chunk in chunks:
+            for key, value in chunk:
+                if key in reduced:
+                    reduced[key] = reducer(reduced[key], value)
+                else:
+                    reduced[key] = value
+        return reduced.items()
+
+    def __repr__(self) -> str:
+        return f"ReduceByKeyTask({self.reducer!r})"
+
+
+class GroupByKeyTask(ShuffleReduceTask):
+    """Group one bucket's values per key, in encounter order."""
+
+    __slots__ = ()
+
+    def __call__(
+        self, _index: int, chunks: Iterator[list[tuple[Any, Any]]]
+    ) -> Iterable[tuple[Any, list[Any]]]:
+        grouped: dict[Any, list[Any]] = defaultdict(list)
+        for chunk in chunks:
+            for key, value in chunk:
+                grouped[key].append(value)
+        return grouped.items()
+
+
+class CoGroupReduceTask(ShuffleReduceTask):
+    """Two-sided merge: ``(key, (left values, right values))``.
+
+    Chunks arrive tagged ``(side, records)``; left chunks sort first (the
+    driver routes them side-major), so keys appear in left-first first-touch
+    order — the order the in-driver cogroup has always produced.
+    """
+
+    __slots__ = ()
+
+    def __call__(
+        self, _index: int, chunks: Iterator[tuple[int, list[tuple[Any, Any]]]]
+    ) -> Iterable[tuple[Any, tuple[list[Any], list[Any]]]]:
+        grouped: dict[Any, tuple[list[Any], list[Any]]] = defaultdict(
+            lambda: ([], [])
+        )
+        for side, chunk in chunks:
+            for key, value in chunk:
+                grouped[key][side].append(value)
+        return ((key, (values[0], values[1])) for key, values in grouped.items())
+
+
+def execute_shuffle(
+    context: "EngineContext",
+    partitioner: Partitioner,
+    sides: Sequence[tuple[Sequence[Sequence[tuple[Any, Any]]], MapSideCombiner | None]],
+    reduce_task: ShuffleReduceTask,
+    name: str,
+) -> list[list[Any]]:
+    """Run a full shuffle (map stage per side, one reduce stage) and return
+    the reduced partitions.
+
+    ``sides`` is a list of ``(parent partitions, map-side combiner)`` pairs —
+    one entry for a plain shuffle, two for a cogroup.  Both phases dispatch
+    through ``context.executor``, so under a process executor the map-side
+    combine and the reduce-side merge run in worker processes (the recorded
+    task metrics carry the worker pids); under the serial executor everything
+    runs in the driver in partition order, byte-identical to the historical
+    in-driver shuffle.  Per-task shuffle records *and* pickled wire bytes are
+    recorded on the scheduler for both phases; measuring bytes costs one
+    ``pickle.dumps`` pass over the shuffled data in the driver (the e2e
+    bench guard tracks this plumbing overhead), which buys an
+    executor-independent, deterministic wire-volume metric.
+    """
+    num_reduce = partitioner.num_partitions
+    tagged = len(sides) > 1
+    reduce_inputs: list[list[Any]] = [[] for _ in range(num_reduce)]
+    read_records = [0] * num_reduce
+    read_bytes = [0] * num_reduce
+
+    for side_index, (parent_partitions, combiner) in enumerate(sides):
+        map_task = ShuffleMapTask(partitioner, combiner)
+        result = context.executor.run_stage([map_task], parent_partitions)
+        context.merge_stage_result(result)
+        side_suffix = f".side{side_index}" if tagged else ""
+        stage = context.scheduler.new_stage(
+            f"{name}.map{side_suffix}", executor=result.executor
+        )
+        for index, outcome in enumerate(result.tasks):
+            buckets = outcome.partition[0]
+            task_records = 0
+            task_bytes = 0
+            for reduce_index, bucket in enumerate(buckets):
+                if not bucket:
+                    continue
+                size = chunk_bytes(bucket)
+                task_records += len(bucket)
+                task_bytes += size
+                read_records[reduce_index] += len(bucket)
+                read_bytes[reduce_index] += size
+                reduce_inputs[reduce_index].append(
+                    (side_index, bucket) if tagged else bucket
+                )
+            context.scheduler.record_task(
+                stage,
+                index,
+                input_records=len(parent_partitions[index]),
+                output_records=task_records,
+                shuffle_write_records=task_records,
+                shuffle_write_bytes=task_bytes,
+                elapsed_seconds=outcome.elapsed_seconds,
+                worker=outcome.worker,
+            )
+
+    result = context.executor.run_stage([reduce_task], reduce_inputs)
+    context.merge_stage_result(result)
+    stage = context.scheduler.new_stage(f"{name}.reduce", executor=result.executor)
+    partitions: list[list[Any]] = []
+    for index, outcome in enumerate(result.tasks):
+        partition = outcome.partition
+        partitions.append(partition)
+        context.scheduler.record_task(
+            stage,
+            index,
+            input_records=read_records[index],
+            output_records=len(partition),
+            shuffle_read_records=read_records[index],
+            shuffle_read_bytes=read_bytes[index],
+            elapsed_seconds=outcome.elapsed_seconds,
+            worker=outcome.worker,
+        )
+    return partitions

@@ -23,7 +23,14 @@ This module reproduces that structure on the CSR-backed
    adjacency index is built once from the weighted edges and broadcast;
    per-node pruning decisions are combined through a ``reduceByKey`` so that
    OR / AND (reciprocal) semantics match the sequential
-   :class:`~repro.metablocking.metablocker.MetaBlocker` exactly.
+   :class:`~repro.metablocking.metablocker.MetaBlocker` exactly.  The vote
+   stage ships a *compact wire format*: each task emits ``(edge id, 1)``
+   votes — dense integers assigned in canonical pair order — instead of full
+   ``((a, b), (weight, count))`` tuples, and the driver rebuilds the retained
+   pairs and their weights from the already-collected weight map.  Only tiny
+   int pairs cross the shuffle (and, under the process executor, the IPC
+   boundary); map-side combine in the workers merges the two endpoint votes
+   of an edge before they are ever serialised.
 
 The sequential meta-blocker's graph builder runs on the *same* kernel, with
 the same per-edge accumulation order, so the output (retained edges and their
@@ -150,6 +157,30 @@ def incident_edge_index(
     return PruningStrategy._node_incidence(weights)
 
 
+def edge_id_incidence(
+    weights: dict[tuple[int, int], float]
+) -> tuple[list[tuple[int, int]], dict[int, list[tuple[int, float]]]]:
+    """Compact per-node incidence for the vote-stage wire format.
+
+    Returns ``(edge_list, incidence)``: ``edge_list`` assigns every edge a
+    dense integer id in *canonical pair order* (sorted pairs), so ordering by
+    ``(-weight, edge_id)`` equals the sequential tie-break by
+    ``(-weight, pair)``; ``incidence`` maps each node to its incident
+    ``(edge id, weight)`` entries **in weight-map insertion order** — the
+    exact order :meth:`PruningStrategy._node_incidence` produces, which the
+    WNP per-node float sums depend on bit-for-bit.
+    """
+    edge_list = sorted(weights)
+    edge_ids = {pair: edge_id for edge_id, pair in enumerate(edge_list)}
+    incidence: dict[int, list[tuple[int, float]]] = {}
+    for pair, weight in weights.items():
+        entry = (edge_ids[pair], weight)
+        a, b = pair
+        incidence.setdefault(a, []).append(entry)
+        incidence.setdefault(b, []).append(entry)
+    return edge_list, incidence
+
+
 # ------------------------------------------------------------ task functions
 # The per-element functions of the broadcast-join jobs are module-level
 # callable classes with bound arguments (not closures), so the fused stage
@@ -236,23 +267,32 @@ class _NodeDegree:
 
 
 class _WeightedNodeVotes:
-    """WNP vote task: retain a node's incident edges above its local mean."""
+    """WNP vote task: retain a node's incident edges above its local mean.
+
+    Emits compact ``(edge id, 1)`` votes — the slim wire format of the vote
+    shuffle.  The threshold float sum runs over the incidence list in
+    weight-map insertion order, matching the sequential WNP bit-for-bit.
+    """
 
     __slots__ = ("incidence_broadcast",)
 
     def __init__(self, incidence_broadcast) -> None:
         self.incidence_broadcast = incidence_broadcast
 
-    def __call__(self, node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
+    def __call__(self, node: int) -> list[tuple[int, int]]:
         incident = self.incidence_broadcast.value.get(node)
         if not incident:
             return []
-        threshold = sum(w for _p, w in incident) / len(incident)
-        return [(pair, (w, 1)) for pair, w in incident if w >= threshold]
+        threshold = sum(w for _e, w in incident) / len(incident)
+        return [(edge_id, 1) for edge_id, w in incident if w >= threshold]
 
 
 class _CardinalityNodeVotes:
-    """CNP vote task: retain a node's top-``k`` incident edges."""
+    """CNP vote task: retain a node's top-``k`` incident edges.
+
+    Edge ids are canonical-pair-ordered, so the ``(-weight, edge_id)`` rank
+    key reproduces the sequential ``(-weight, pair)`` tie-break exactly.
+    """
 
     __slots__ = ("incidence_broadcast", "k")
 
@@ -260,23 +300,21 @@ class _CardinalityNodeVotes:
         self.incidence_broadcast = incidence_broadcast
         self.k = k
 
-    def __call__(self, node: int) -> list[tuple[tuple[int, int], tuple[float, int]]]:
+    def __call__(self, node: int) -> list[tuple[int, int]]:
         incident = self.incidence_broadcast.value.get(node)
         if not incident:
             return []
         ranked = sorted(incident, key=_rank_key)
-        return [(pair, (w, 1)) for pair, w in ranked[: self.k]]
+        return [(edge_id, 1) for edge_id, _w in ranked[: self.k]]
 
 
-def _rank_key(item: tuple[tuple[int, int], float]) -> tuple[float, tuple[int, int]]:
+def _rank_key(item: tuple[int, float]) -> tuple[float, int]:
     return (-item[1], item[0])
 
 
-def _merge_votes(
-    a: tuple[float, int], b: tuple[float, int]
-) -> tuple[float, int]:
-    """Combine per-node pruning votes for one edge (weight is identical)."""
-    return (a[0], a[1] + b[1])
+def _sum_votes(a: int, b: int) -> int:
+    """Combine the endpoint vote counts of one edge."""
+    return a + b
 
 
 class ParallelMetaBlocker:
@@ -383,20 +421,40 @@ class ParallelMetaBlocker:
         ranked = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
         return dict(ranked[:k])
 
+    def _retained_from_votes(
+        self,
+        votes: dict[int, int],
+        edge_list: list[tuple[int, int]],
+        weights: dict[tuple[int, int], float],
+        required: int,
+    ) -> dict[tuple[int, int], float]:
+        """Rebuild the retained edges from compact vote counts, driver-side.
+
+        The shuffle only carried edge ids; pairs and their exact float
+        weights come back from ``edge_list`` and the collected weight map.
+        """
+        retained: dict[tuple[int, int], float] = {}
+        for edge_id, count in votes.items():
+            if count >= required:
+                pair = edge_list[edge_id]
+                retained[pair] = weights[pair]
+        return retained
+
     def _run_node_weighted(
         self, node_rdd, broadcast, pruning: WeightedNodePruning
     ) -> dict[tuple[int, int], float]:
         weights = self._all_edge_weights(node_rdd, broadcast)
         if not weights:
             return {}
-        incidence_broadcast = self.context.broadcast(incident_edge_index(weights))
+        edge_list, incidence = edge_id_incidence(weights)
+        incidence_broadcast = self.context.broadcast(incidence)
         votes = (
             node_rdd.flatMap(_WeightedNodeVotes(incidence_broadcast), name="wnp.votes")
-            .reduceByKey(_merge_votes)
+            .reduceByKey(_sum_votes)
             .collectAsMap()
         )
         required = 2 if pruning.reciprocal else 1
-        return {pair: w for pair, (w, count) in votes.items() if count >= required}
+        return self._retained_from_votes(votes, edge_list, weights, required)
 
     def _run_node_cardinality(
         self, node_rdd, broadcast, pruning: CardinalityNodePruning
@@ -410,13 +468,14 @@ class ParallelMetaBlocker:
             num_profiles = max(1, index.num_nodes)
             total_assignments = sum(index.node_block_count)
             k = max(1, total_assignments // num_profiles - 1)
-        incidence_broadcast = self.context.broadcast(incident_edge_index(weights))
+        edge_list, incidence = edge_id_incidence(weights)
+        incidence_broadcast = self.context.broadcast(incidence)
         votes = (
             node_rdd.flatMap(
                 _CardinalityNodeVotes(incidence_broadcast, k), name="cnp.votes"
             )
-            .reduceByKey(_merge_votes)
+            .reduceByKey(_sum_votes)
             .collectAsMap()
         )
         required = 2 if pruning.reciprocal else 1
-        return {pair: w for pair, (w, count) in votes.items() if count >= required}
+        return self._retained_from_votes(votes, edge_list, weights, required)

@@ -14,19 +14,88 @@ the meta-blocking graph of this package:
   of their neighbourhood and emit, for each node in turn, its best unseen
   neighbours first (a simplified Progressive Profile Scheduling).
 
-Both produce a deterministic ranking of candidate pairs; the benchmark
-``bench_extension_progressive.py`` measures recall as a function of the number
-of comparisons performed, the paper family's standard "progressive recall"
-curve.
+Both run on the CSR :class:`~repro.metablocking.index.NeighbourhoodKernel`
+directly — one scratch-buffer sweep materialising each node's neighbourhood
+exactly once, every edge weighted from its lower endpoint — instead of
+materialising a full :class:`~repro.metablocking.graph.BlockingGraph` and
+re-deriving node statistics from it.  The kernel's accumulation order is the
+graph builder's, so the weights (and therefore the rankings) are bit-for-bit
+identical to the graph-based implementation they replace.
+
+``stream()`` is genuinely lazy: global sorting merges per-node runs through a
+heap (:func:`heapq.merge`), so consuming the first *k* comparisons never pays
+for a global sort; node scheduling yields node by node, each incident list
+sorted exactly once up front.  ``rank()`` is simply ``list(stream())``.  The
+benchmark ``bench_extension_progressive.py`` measures recall as a function of
+the number of comparisons performed, the paper family's standard
+"progressive recall" curve.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Iterator
 
 from repro.blocking.block import BlockCollection
-from repro.metablocking.graph import build_blocking_graph
-from repro.metablocking.weights import WeightingScheme, weight_all_edges
+from repro.metablocking.graph import EdgeInfo
+from repro.metablocking.index import CSRBlockIndex
+from repro.metablocking.weights import WeightingScheme, compute_edge_weight
+
+_Edge = tuple[tuple[int, int], float]
+
+
+def _edge_rank(item: _Edge) -> tuple[float, tuple[int, int]]:
+    """Best first: descending weight, ties broken by canonical pair order."""
+    return (-item[1], item[0])
+
+
+def _weighted_edges_by_node(
+    index: CSRBlockIndex, scheme: WeightingScheme
+) -> list[list[_Edge]]:
+    """One kernel sweep: per dense node, its weighted edges (lower endpoint).
+
+    Every edge appears exactly once, in the node-major first-touch order the
+    graph builder uses — weights accumulate in the same order and come out
+    float-identical to ``weight_all_edges(build_blocking_graph(blocks))``.
+    """
+    needs_degrees = scheme is WeightingScheme.EJS
+    if needs_degrees:
+        # Resolve degrees before touching the shared kernel: the lazy degree
+        # sweep must not clobber a neighbourhood sitting in its buffers.
+        degrees = index.degree_vector()
+        total_edges = index.num_edges()
+    kernel = index.kernel()
+    node_ids = index.node_ids
+    block_counts = index.node_block_count
+    total_blocks = index.total_blocks
+    per_node: list[list[_Edge]] = []
+    for node in range(index.num_nodes):
+        touched = kernel.neighbours(node)
+        common, arcs, entropy = kernel.common_blocks, kernel.arcs, kernel.entropy_sum
+        blocks_node = block_counts[node]
+        profile_a = node_ids[node]
+        edges: list[_Edge] = []
+        for other in touched:
+            if other <= node:
+                continue
+            info = EdgeInfo(
+                common_blocks=common[other],
+                arcs=arcs[other],
+                entropy_sum=entropy[other],
+            )
+            weight = compute_edge_weight(
+                scheme,
+                info,
+                blocks_a=blocks_node,
+                blocks_b=block_counts[other],
+                total_blocks=total_blocks,
+                degree_a=degrees[node] if needs_degrees else 0,
+                degree_b=degrees[other] if needs_degrees else 0,
+                total_edges=total_edges if needs_degrees else 0,
+            )
+            edges.append(((profile_a, node_ids[other]), weight))
+        per_node.append(edges)
+    return per_node
 
 
 class ProgressiveSortedComparisons:
@@ -43,16 +112,23 @@ class ProgressiveSortedComparisons:
 
     def rank(self, blocks: BlockCollection) -> list[tuple[int, int]]:
         """Return every distinct comparison, best first."""
-        graph = build_blocking_graph(blocks)
-        weights = weight_all_edges(graph, self.weighting)
-        return [
-            pair
-            for pair, _weight in sorted(weights.items(), key=lambda item: (-item[1], item[0]))
-        ]
+        return list(self.stream(blocks))
 
     def stream(self, blocks: BlockCollection) -> Iterator[tuple[int, int]]:
-        """Iterate the ranked comparisons lazily."""
-        yield from self.rank(blocks)
+        """Iterate the ranked comparisons lazily (heap merge of node runs).
+
+        Each node's emitted edges form one run, sorted by the rank key; the
+        runs are merged through a heap, so pulling the best *k* comparisons
+        costs O(k log n) pops after the weighting sweep — no global sort.
+        """
+        index = CSRBlockIndex.from_blocks(blocks)
+        runs = [
+            sorted(edges, key=_edge_rank)
+            for edges in _weighted_edges_by_node(index, self.weighting)
+            if edges
+        ]
+        for pair, _weight in heapq.merge(*runs, key=_edge_rank):
+            yield pair
 
 
 class ProgressiveNodeScheduling:
@@ -63,31 +139,36 @@ class ProgressiveNodeScheduling:
 
     def rank(self, blocks: BlockCollection) -> list[tuple[int, int]]:
         """Return every distinct comparison following the node schedule."""
-        graph = build_blocking_graph(blocks)
-        weights = weight_all_edges(graph, self.weighting)
+        return list(self.stream(blocks))
 
-        # Per-node incident edges and average weight (the node's "priority").
-        incident: dict[int, list[tuple[tuple[int, int], float]]] = {}
-        for pair, weight in weights.items():
-            for node in pair:
-                incident.setdefault(node, []).append((pair, weight))
+    def stream(self, blocks: BlockCollection) -> Iterator[tuple[int, int]]:
+        """Iterate the scheduled comparisons lazily, one node at a time."""
+        index = CSRBlockIndex.from_blocks(blocks)
+        per_node = _weighted_edges_by_node(index, self.weighting)
+
+        # Per-node incident edges, built in edge-emission order (the order the
+        # node-priority float sums depend on), then each list sorted exactly
+        # once up front — not per visit inside the emission loop.
+        incident: dict[int, list[_Edge]] = {}
+        for edges in per_node:
+            for edge in edges:
+                pair, _weight = edge
+                for node in pair:
+                    incident.setdefault(node, []).append(edge)
         priority = {
-            node: sum(w for _p, w in edges) / len(edges) for node, edges in incident.items()
+            node: sum(w for _p, w in edges) / len(edges)
+            for node, edges in incident.items()
         }
+        for edges in incident.values():
+            edges.sort(key=_edge_rank)
 
         emitted: set[tuple[int, int]] = set()
-        ranking: list[tuple[int, int]] = []
         for node in sorted(priority, key=lambda n: (-priority[n], n)):
-            for pair, _weight in sorted(incident[node], key=lambda item: (-item[1], item[0])):
+            for pair, _weight in incident[node]:
                 if pair in emitted:
                     continue
                 emitted.add(pair)
-                ranking.append(pair)
-        return ranking
-
-    def stream(self, blocks: BlockCollection) -> Iterator[tuple[int, int]]:
-        """Iterate the scheduled comparisons lazily."""
-        yield from self.rank(blocks)
+                yield pair
 
 
 def progressive_recall_curve(

@@ -31,3 +31,11 @@ def test_e2e_engine_overhead_within_tolerance_of_baseline():
 
     failures = check_e2e_against_baseline(tolerance=0.5)
     assert not failures, "; ".join(failures)
+
+
+def test_vote_shuffle_wire_format_within_tolerance_of_baseline():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_guard import check_shuffle_against_baseline
+
+    failures = check_shuffle_against_baseline(tolerance=0.1)
+    assert not failures, "; ".join(failures)

@@ -1,49 +1,190 @@
-"""Tests of the shuffle helpers."""
+"""Tests of the parallel shuffle subsystem (map tasks, reduce tasks, driver)."""
 
+import operator
+
+import pytest
+
+from repro.engine.context import EngineContext
+from repro.engine.executors import MultiprocessingExecutor, SerialExecutor
 from repro.engine.partitioner import HashPartitioner
 from repro.engine.shuffle import (
-    group_by_key_partition,
-    map_side_combine,
-    reduce_by_key_partition,
-    shuffle_partitions,
+    CoGroupReduceTask,
+    ConcatReduceTask,
+    GroupByKeyTask,
+    MapSideCombiner,
+    ReduceByKeyTask,
+    ShuffleMapTask,
+    ZeroSeededCombiner,
+    chunk_bytes,
+    execute_shuffle,
 )
 
 
-class TestShufflePartitions:
-    def test_all_records_kept(self):
-        parents = [[("a", 1), ("b", 2)], [("a", 3)]]
-        buckets, shuffled = shuffle_partitions(parents, HashPartitioner(3))
-        assert shuffled == 3
-        assert sorted(r for bucket in buckets for r in bucket) == [("a", 1), ("a", 3), ("b", 2)]
+def _run_map(task, partition):
+    """Run one map task over one partition; return its bucket list."""
+    (buckets,) = list(task(0, iter(partition)))
+    return buckets
+
+
+class TestShuffleMapTask:
+    def test_all_records_kept_and_bucketed_by_key(self):
+        task = ShuffleMapTask(HashPartitioner(3))
+        buckets = _run_map(task, [("a", 1), ("b", 2), ("a", 3)])
+        assert len(buckets) == 3
+        flat = [record for bucket in buckets for record in bucket]
+        assert sorted(flat) == [("a", 1), ("a", 3), ("b", 2)]
 
     def test_same_key_same_bucket(self):
-        parents = [[("k", i) for i in range(10)]]
-        buckets, _ = shuffle_partitions(parents, HashPartitioner(4))
-        non_empty = [b for b in buckets if b]
-        assert len(non_empty) == 1
+        buckets = _run_map(
+            ShuffleMapTask(HashPartitioner(4)), [("k", i) for i in range(10)]
+        )
+        assert len([b for b in buckets if b]) == 1
 
-    def test_empty_input(self):
-        buckets, shuffled = shuffle_partitions([], HashPartitioner(2))
-        assert shuffled == 0
+    def test_empty_partition(self):
+        buckets = _run_map(ShuffleMapTask(HashPartitioner(2)), [])
         assert buckets == [[], []]
 
-
-class TestCombiners:
-    def test_map_side_combine(self):
-        partition = [("a", 1), ("a", 2), ("b", 5)]
-        combined = dict(map_side_combine(partition, lambda v: v, lambda a, b: a + b))
+    def test_map_side_combine_preaggregates(self):
+        task = ShuffleMapTask(
+            HashPartitioner(2), MapSideCombiner(operator.add)
+        )
+        buckets = _run_map(task, [("a", 1), ("a", 2), ("b", 5)])
+        combined = dict(record for bucket in buckets for record in bucket)
         assert combined == {"a": 3, "b": 5}
 
-    def test_group_by_key_partition(self):
-        partition = [("a", 1), ("b", 2), ("a", 3)]
-        grouped = dict(group_by_key_partition(partition))
-        assert grouped == {"a": [1, 3], "b": [2]}
+    def test_combine_preserves_first_touch_order(self):
+        task = ShuffleMapTask(HashPartitioner(1), MapSideCombiner(operator.add))
+        buckets = _run_map(task, [("b", 1), ("a", 1), ("b", 1), ("c", 1)])
+        assert [key for key, _v in buckets[0]] == ["b", "a", "c"]
 
-    def test_reduce_by_key_partition(self):
-        partition = [("a", 1), ("a", 2), ("b", 3)]
-        reduced = dict(reduce_by_key_partition(partition, lambda a, b: a + b))
-        assert reduced == {"a": 3, "b": 3}
+    def test_zero_seeded_combiner(self):
+        task = ShuffleMapTask(
+            HashPartitioner(1),
+            MapSideCombiner(
+                lambda acc, v: acc + [v], create=ZeroSeededCombiner([], lambda z, v: z + [v])
+            ),
+        )
+        buckets = _run_map(task, [("a", 1), ("a", 2)])
+        assert buckets[0] == [("a", [1, 2])]
+
+
+class TestReduceTasks:
+    def test_concat_keeps_chunk_order(self):
+        task = ConcatReduceTask()
+        merged = list(task(0, iter([[("a", 1)], [("b", 2), ("a", 3)]])))
+        assert merged == [("a", 1), ("b", 2), ("a", 3)]
+
+    def test_reduce_by_key_merges_across_chunks(self):
+        task = ReduceByKeyTask(operator.add)
+        merged = dict(task(0, iter([[("a", 1), ("b", 3)], [("a", 2)]])))
+        assert merged == {"a": 3, "b": 3}
 
     def test_reduce_single_value_untouched(self):
-        reduced = dict(reduce_by_key_partition([("a", 7)], lambda a, b: a + b))
-        assert reduced == {"a": 7}
+        merged = dict(ReduceByKeyTask(operator.add)(0, iter([[("a", 7)]])))
+        assert merged == {"a": 7}
+
+    def test_group_by_key_encounter_order(self):
+        task = GroupByKeyTask()
+        merged = dict(task(0, iter([[("a", 1), ("b", 2)], [("a", 3)]])))
+        assert merged == {"a": [1, 3], "b": [2]}
+
+    def test_cogroup_tags_sides(self):
+        task = CoGroupReduceTask()
+        merged = dict(
+            task(0, iter([(0, [("k", 1), ("j", 9)]), (1, [("k", 2)])]))
+        )
+        assert merged == {"k": ([1], [2]), "j": ([9], [])}
+
+
+class TestExecuteShuffle:
+    def _context(self, executor=None):
+        return EngineContext(2, executor=executor or SerialExecutor())
+
+    def test_end_to_end_reduce(self):
+        context = self._context()
+        partitions = execute_shuffle(
+            context,
+            HashPartitioner(3),
+            [([[("a", 1), ("b", 2)], [("a", 3)]], MapSideCombiner(operator.add))],
+            ReduceByKeyTask(operator.add),
+            "test.shuffle",
+        )
+        assert len(partitions) == 3
+        assert dict(r for p in partitions for r in p) == {"a": 4, "b": 2}
+
+    def test_records_map_and_reduce_stages_with_volume(self):
+        context = self._context()
+        execute_shuffle(
+            context,
+            HashPartitioner(2),
+            [([[("a", 1), ("b", 2), ("a", 3)]], None)],
+            GroupByKeyTask(),
+            "test.shuffle",
+        )
+        table = {row["description"]: row for row in context.scheduler.stage_table()}
+        map_row = table["test.shuffle.map"]
+        reduce_row = table["test.shuffle.reduce"]
+        assert map_row["shuffle_write"] == 3
+        assert map_row["shuffle_write_bytes"] > 0
+        assert reduce_row["shuffle_read"] == 3
+        assert reduce_row["shuffle_read_bytes"] == map_row["shuffle_write_bytes"]
+
+    def test_empty_input_still_produces_all_partitions(self):
+        context = self._context()
+        partitions = execute_shuffle(
+            context, HashPartitioner(4), [([], None)], ConcatReduceTask(), "t"
+        )
+        assert partitions == [[], [], [], []]
+
+    def test_process_executor_matches_serial_and_records_worker_pids(self):
+        data = [[(i % 7, i) for i in range(40)], [(i % 5, i * 2) for i in range(30)]]
+        serial_context = self._context()
+        serial = execute_shuffle(
+            serial_context,
+            HashPartitioner(3),
+            [(data, MapSideCombiner(operator.add))],
+            ReduceByKeyTask(operator.add),
+            "t.shuffle",
+        )
+        executor = MultiprocessingExecutor(max_workers=2, on_unpicklable="raise")
+        try:
+            process_context = self._context(executor)
+            process = execute_shuffle(
+                process_context,
+                HashPartitioner(3),
+                [(data, MapSideCombiner(operator.add))],
+                ReduceByKeyTask(operator.add),
+                "t.shuffle",
+            )
+        finally:
+            executor.close()
+        assert process == serial
+        shuffle_stages = [
+            s for s in process_context.scheduler.stages if ".shuffle." in s.description
+        ]
+        assert len(shuffle_stages) == 2
+        for stage in shuffle_stages:
+            assert stage.executor.startswith("process")
+            assert all(task.worker.startswith("pid-") for task in stage.tasks)
+        # The wire volume is executor-independent.
+        serial_rows = [
+            (r["description"], r["shuffle_write"], r["shuffle_read"])
+            for r in serial_context.scheduler.stage_table()
+        ]
+        process_rows = [
+            (r["description"], r["shuffle_write"], r["shuffle_read"])
+            for r in process_context.scheduler.stage_table()
+        ]
+        assert process_rows == serial_rows
+
+
+class TestChunkBytes:
+    def test_measures_pickled_wire_size(self):
+        small = chunk_bytes([(1, 2)])
+        large = chunk_bytes([(i, i) for i in range(100)])
+        assert 0 < small < large
+
+    def test_compact_records_are_smaller_on_the_wire(self):
+        tuples = chunk_bytes([((i, i + 1), (0.5, 1)) for i in range(50)])
+        edge_ids = chunk_bytes([(i, 1) for i in range(50)])
+        assert edge_ids < tuples * 0.6

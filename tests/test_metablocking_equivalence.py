@@ -175,3 +175,57 @@ class TestProcessExecutorGridEquivalence:
             use_entropy=True,
         ).run(clean_blocks)
         assert parallel.retained_edges == reference.retained_edges
+
+
+def _shuffle_rows(context):
+    """The shuffle-bearing stage_table rows, minus executor/timing noise."""
+    return [
+        (
+            row["description"],
+            row["tasks"],
+            row["shuffle_write"],
+            row["shuffle_read"],
+            row["shuffle_write_bytes"],
+            row["shuffle_read_bytes"],
+        )
+        for row in context.scheduler.stage_table()
+        if ".shuffle." in str(row["description"])
+    ]
+
+
+class TestShuffleDeterminismSweep:
+    """Serial vs process shuffle: same retained edges, same wire volume.
+
+    The shuffle subsystem's map-side combine and reduce-side merge run in
+    worker processes under the process executor, yet the recorded shuffle
+    record *and* byte counts per stage must equal the serial run exactly —
+    the wire format is a property of the job, not of where it executes.
+    """
+
+    @pytest.mark.parametrize("pruning", ["wnp", "rwnp", "cnp", "rcnp"])
+    @pytest.mark.parametrize("weighting", ["cbs", "ejs"])
+    def test_process_shuffle_matches_serial_bit_for_bit(
+        self, clean_blocks, process_executor, weighting, pruning
+    ):
+        serial_context = EngineContext(4)
+        serial = ParallelMetaBlocker(
+            serial_context, weighting, _make_pruning(pruning)
+        ).run(clean_blocks)
+        process_context = EngineContext(4, executor=process_executor)
+        process = ParallelMetaBlocker(
+            process_context, weighting, _make_pruning(pruning)
+        ).run(clean_blocks)
+        assert process.retained_edges == serial.retained_edges
+        assert _shuffle_rows(process_context) == _shuffle_rows(serial_context)
+
+    def test_vote_shuffle_runs_on_worker_processes(self, dirty_blocks, process_executor):
+        context = EngineContext(4, executor=process_executor)
+        ParallelMetaBlocker(context, "cbs", "wnp").run(dirty_blocks)
+        vote_stages = [
+            s for s in context.scheduler.stages if "wnp.votes" in s.description
+            and ".shuffle." in s.description
+        ]
+        assert len(vote_stages) == 2  # map + reduce phase
+        for stage in vote_stages:
+            assert stage.executor.startswith("process")
+            assert all(task.worker.startswith("pid-") for task in stage.tasks)

@@ -1,5 +1,10 @@
 """Tests of the progressive meta-blocking extension."""
 
+import itertools
+from collections.abc import Iterator
+
+import pytest
+
 from repro.blocking.token_blocking import TokenBlocking
 from repro.metablocking.progressive import (
     ProgressiveNodeScheduling,
@@ -48,6 +53,11 @@ class TestProgressiveNodeScheduling:
         assert set(ranking) == blocks.distinct_comparisons()
         assert len(ranking) == len(set(ranking))
 
+    def test_stream_matches_rank(self, abt_buy_small):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        strategy = ProgressiveNodeScheduling("js")
+        assert list(strategy.stream(blocks)) == strategy.rank(blocks)
+
     def test_better_than_random_order(self, abt_buy_small):
         blocks = TokenBlocking().block(abt_buy_small.profiles)
         ranking = ProgressiveNodeScheduling("cbs").rank(blocks)
@@ -56,6 +66,35 @@ class TestProgressiveNodeScheduling:
         early_recall = len(set(ranking[:budget]) & truth) / len(truth)
         random_expectation = budget / len(ranking)
         assert early_recall > random_expectation
+
+
+class TestStreamLaziness:
+    """``stream()`` must be an honest iterator: the ranking is produced
+    incrementally (heap merge / node-at-a-time), not materialised upfront."""
+
+    @pytest.mark.parametrize(
+        "strategy_cls", [ProgressiveSortedComparisons, ProgressiveNodeScheduling]
+    )
+    def test_stream_is_a_generator_and_prefix_matches_rank(
+        self, abt_buy_small, strategy_cls
+    ):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        strategy = strategy_cls("cbs")
+        stream = strategy.stream(blocks)
+        assert isinstance(stream, Iterator)
+        prefix = list(itertools.islice(stream, 25))
+        assert prefix == strategy.rank(blocks)[:25]
+
+    @pytest.mark.parametrize(
+        "weighting", ["cbs", "js", "arcs", "ecbs", "ejs"]
+    )
+    def test_all_schemes_rank_deterministically(self, abt_buy_small, weighting):
+        blocks = TokenBlocking().block(abt_buy_small.profiles)
+        for strategy_cls in (ProgressiveSortedComparisons, ProgressiveNodeScheduling):
+            strategy = strategy_cls(weighting)
+            first = strategy.rank(blocks)
+            assert first == strategy.rank(blocks)
+            assert set(first) == blocks.distinct_comparisons()
 
 
 class TestProgressiveRecallCurve:
