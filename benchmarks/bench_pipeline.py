@@ -1,0 +1,83 @@
+"""Facade-vs-pipeline overhead benchmark.
+
+Since the stage-graph redesign, ``SparkER.run()`` is a thin wrapper over
+``Pipeline.from_spec(SparkER.canonical_spec(config))``.  This benchmark times
+both entry points end-to-end on the same synthetic dataset and reports the
+*overhead ratio* (pipeline wall-clock / facade wall-clock).  The ratio is the
+quantity guarded by ``scripts/bench_guard.py``: the declarative runner must
+not cost more than a few percent over the facade (which itself runs through
+the same stage graph, so the expected ratio is ~1.0).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.config import SparkERConfig
+from repro.core.sparker import SparkER
+from repro.data.synthetic import SyntheticConfig, generate_abt_buy_like
+from repro.pipeline import Pipeline
+
+DEFAULT_SIZES = (100, 200)
+REPEATS = 3
+
+
+def _best_of(repeats: int, runner) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        runner()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_pipeline_benchmark(
+    sizes: "tuple[int, ...] | list[int]" = DEFAULT_SIZES, repeats: int = REPEATS
+) -> list[dict[str, object]]:
+    """Time facade vs declarative pipeline end-to-end; return one entry per size."""
+    entries: list[dict[str, object]] = []
+    for num_entities in sizes:
+        dataset = generate_abt_buy_like(
+            SyntheticConfig(num_entities=num_entities, seed=7)
+        )
+        config = SparkERConfig.unsupervised_default()
+        spec = SparkER.canonical_spec(config)
+
+        def run_facade() -> None:
+            SparkER(config).run(dataset.profiles, dataset.ground_truth)
+
+        def run_pipeline() -> None:
+            Pipeline.from_spec(spec).run(dataset.profiles, dataset.ground_truth)
+
+        # Warm both paths once (imports, caches) before timing.
+        run_facade()
+        run_pipeline()
+        facade_seconds = _best_of(repeats, run_facade)
+        pipeline_seconds = _best_of(repeats, run_pipeline)
+        entries.append(
+            {
+                "num_entities": num_entities,
+                "facade_seconds": round(facade_seconds, 6),
+                "pipeline_seconds": round(pipeline_seconds, 6),
+                "overhead": round(pipeline_seconds / facade_seconds, 4),
+            }
+        )
+    return entries
+
+
+def main() -> None:
+    for entry in run_pipeline_benchmark():
+        print(
+            f"entities={entry['num_entities']:>5}  "
+            f"facade={entry['facade_seconds']:.4f}s  "
+            f"pipeline={entry['pipeline_seconds']:.4f}s  "
+            f"overhead={entry['overhead']:.3f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

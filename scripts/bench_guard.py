@@ -1,7 +1,8 @@
 """Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Three guards, all built on ratios that are largely machine-independent and
-compared against the committed ``BENCH_metablocking.json`` baseline:
+Four guards, all built on ratios that are largely machine-independent; the
+first three compare against the committed ``BENCH_metablocking.json``
+baseline, the fourth measures both sides fresh:
 
 * **kernel** — re-runs ``benchmarks/bench_metablocking_kernel.py`` at its
   smallest size and checks the kernel *speedups* (legacy time / kernel
@@ -17,6 +18,10 @@ compared against the committed ``BENCH_metablocking.json`` baseline:
   the legacy ``((a, b), (weight, count))`` tuple format.  Deterministic (no
   timing): fails when the byte reduction drops below the hard 40 percent
   floor or regresses below ``1 - tolerance`` of the committed reduction.
+* **pipeline runner** — times the ``SparkER`` facade against
+  ``Pipeline.from_spec`` end-to-end on the same dataset and fails when the
+  declarative stage-graph runner costs more than 5 percent over the facade
+  (which itself runs through the same stage graph).
 
 Usage::
 
@@ -101,6 +106,35 @@ def check_e2e_against_baseline(
     return []
 
 
+PIPELINE_CEILING = 1.05  # declarative runner must stay within 5% of the facade
+
+
+def check_pipeline_against_facade(
+    ceiling: float = PIPELINE_CEILING,
+) -> list[str]:
+    """Guard the facade-vs-pipeline-runner overhead; return failure messages.
+
+    The facade is a thin wrapper over the canonical pipeline spec, so the
+    declarative runner going through ``Pipeline.from_spec`` must not cost
+    more than ``ceiling`` times the facade's end-to-end wall-clock.  Both
+    sides are measured fresh (best-of-N on the same dataset), so no committed
+    baseline is needed — the ratio is machine-independent by construction.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_pipeline import DEFAULT_SIZES, run_pipeline_benchmark
+
+    # Only the largest default size: long enough that scheduler jitter does
+    # not swamp a 5% ratio, and the smaller sweep sizes would be discarded.
+    entry = run_pipeline_benchmark(sizes=DEFAULT_SIZES[-1:])[0]
+    overhead = entry["overhead"]
+    if overhead > ceiling:
+        return [
+            f"pipeline: declarative runner overhead {overhead:.3f}x the facade "
+            f"on {entry['num_entities']} entities (ceiling {ceiling:.2f}x)"
+        ]
+    return []
+
+
 SHUFFLE_FLOOR = 0.40  # acceptance floor: ≥40% fewer vote-stage shuffle bytes
 SHUFFLE_JOBS = ("wnp", "cnp")
 
@@ -176,19 +210,26 @@ def main(argv=None) -> int:
         default=0.1,
         help="allowed fractional shuffle byte-reduction regression (default 0.1 = 10%%)",
     )
+    parser.add_argument(
+        "--pipeline-ceiling",
+        type=float,
+        default=PIPELINE_CEILING,
+        help="maximum pipeline-runner/facade wall-clock ratio (default 1.05)",
+    )
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     args = parser.parse_args(argv)
 
     failures = check_against_baseline(args.tolerance, args.baseline)
     failures += check_e2e_against_baseline(args.e2e_tolerance, args.baseline)
     failures += check_shuffle_against_baseline(args.shuffle_tolerance, args.baseline)
+    failures += check_pipeline_against_facade(args.pipeline_ceiling)
     if failures:
         for failure in failures:
             print(f"BENCH GUARD FAIL — {failure}", file=sys.stderr)
         return 1
     print(
-        "bench guard ok: kernel speedups, e2e engine overhead and vote-stage "
-        "shuffle wire format within tolerance of the committed baseline"
+        "bench guard ok: kernel speedups, e2e engine overhead, vote-stage "
+        "shuffle wire format and pipeline-runner overhead within tolerance"
     )
     return 0
 

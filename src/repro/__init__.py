@@ -20,9 +20,14 @@ Resolution in Spark* (EDBT 2019).  It provides:
   and alternatives),
 * ``repro.evaluation`` -- blocking and matching quality metrics,
 * ``repro.sampling`` -- the process-debugging sampler,
+* ``repro.pipeline`` -- the composable stage-graph API: typed stages in a
+  string-keyed registry, declarative dict/JSON specs
+  (``Pipeline.from_spec``), a validated runner with per-stage metrics and
+  checkpoint/resume,
 * ``repro.core`` -- the SparkER pipeline modules (Blocker, Entity Matcher,
   Entity Clusterer), the end-to-end :class:`~repro.core.sparker.SparkER`
-  facade and the process-debugging session.
+  facade (a thin wrapper over the canonical pipeline spec) and the
+  process-debugging session.
 """
 
 from repro.version import __version__
@@ -35,8 +40,12 @@ from repro.core.blocker import Blocker, BlockerReport
 from repro.core.entity_matcher import EntityMatcher
 from repro.core.entity_clusterer import EntityClusterer
 from repro.core.debugging import DebugSession
+from repro.pipeline import Pipeline, PipelineResult, Stage
 
 __all__ = [
+    "Pipeline",
+    "PipelineResult",
+    "Stage",
     "__version__",
     "EntityProfile",
     "KeyValue",

@@ -86,6 +86,30 @@ def compute_blocking_stats(
     )
 
 
+def block_stage_metrics(
+    blocks: BlockCollection,
+    ground_truth: GroundTruth | None = None,
+    *,
+    max_comparisons: int | None = None,
+) -> dict[str, object]:
+    """The per-stage metric dict recorded after every block-level stage.
+
+    Full quality statistics when a ground truth is available, plain counts
+    otherwise.  Both the legacy :class:`repro.core.blocker.Blocker` and the
+    pipeline stage adapters record exactly this dict, which is what keeps
+    the facade-vs-pipeline reports byte-identical.
+    """
+    if ground_truth is not None:
+        return compute_blocking_stats(
+            blocks, ground_truth, max_comparisons=max_comparisons
+        ).as_dict()
+    return {
+        "blocks": len(blocks),
+        "candidate_pairs": len(blocks.distinct_comparisons()),
+        "total_comparisons": blocks.total_comparisons(),
+    }
+
+
 def candidate_pair_stats(
     candidate_pairs: set[tuple[int, int]],
     ground_truth: GroundTruth,

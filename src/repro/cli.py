@@ -19,6 +19,18 @@ Usage examples::
     python -m repro.cli run --source0 abt.csv --source1 buy.csv \
         --ground-truth mapping.csv --id-field id --output entities.json
 
+    # declarative runs: a JSON stage-graph spec instead of the fixed wiring
+    python -m repro.cli run --spec examples/spec_abt_buy.json
+    python -m repro.cli run --synthetic abt-buy --output-config resolved.json
+    python -m repro.cli run --spec resolved.json        # reproduces the run
+
+    # checkpoint a long run, then resume it after an interruption
+    python -m repro.cli run --synthetic abt-buy --checkpoint ckpt/
+    python -m repro.cli resume --checkpoint ckpt/
+
+    # list every registered pipeline stage and its parameters
+    python -m repro.cli stages
+
     # inspect the attribute partitioning at a given threshold
     python -m repro.cli partition --synthetic abt-buy --threshold 0.3
 """
@@ -42,9 +54,31 @@ from repro.data.synthetic import (
     generate_dirty_persons,
 )
 from repro.evaluation.report import format_table
-from repro.exceptions import SparkERError
+from repro.exceptions import PipelineValidationError, SparkERError
 from repro.looseschema.attribute_partitioning import AttributePartitioner
 from repro.looseschema.entropy import EntropyExtractor
+from repro.pipeline import Pipeline, PipelineResult, stage_catalog
+
+class _TrackExplicit(argparse.Action):
+    """Store the value and remember that the user set this flag explicitly.
+
+    Needed to arbitrate between argparse defaults and a --spec file's
+    dataset section: an explicit CLI value must win over the spec, but the
+    spec must win over a mere parser default.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        explicit = getattr(namespace, "_explicit", None)
+        if explicit is None:
+            explicit = set()
+            setattr(namespace, "_explicit", explicit)
+        explicit.add(self.dest)
+
+
+def _is_explicit(args: argparse.Namespace, dest: str) -> bool:
+    return dest in getattr(args, "_explicit", set())
+
 
 _SYNTHETIC_GENERATORS = {
     "abt-buy": lambda n, seed: generate_abt_buy_like(SyntheticConfig(num_entities=n, seed=seed)),
@@ -134,31 +168,136 @@ def _executor_spec(args: argparse.Namespace) -> str | None:
     return executor
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    dataset = _load_dataset(args)
+def _dataset_section(args: argparse.Namespace) -> dict[str, object]:
+    """The dataset provenance recorded by --output-config (spec round-trip)."""
+    if args.synthetic:
+        return {"synthetic": args.synthetic, "entities": args.entities, "seed": args.seed}
+    section: dict[str, object] = {"source0": args.source0}
+    if args.source1:
+        section["source1"] = args.source1
+    if args.ground_truth:
+        section["ground_truth"] = args.ground_truth
+    if args.id_field:
+        section["id_field"] = args.id_field
+    return section
+
+
+def _apply_spec_dataset(args: argparse.Namespace, spec: dict[str, object]) -> None:
+    """Fill dataset args from the spec's dataset section when none were given."""
+    dataset = spec.get("dataset")
+    if not isinstance(dataset, dict) or args.synthetic or args.source0:
+        return
+    args.synthetic = dataset.get("synthetic")
+    if args.synthetic is not None and args.synthetic not in _SYNTHETIC_GENERATORS:
+        raise SparkERError(f"spec dataset names unknown synthetic {args.synthetic!r}")
+    if not _is_explicit(args, "entities"):
+        args.entities = int(dataset.get("entities", args.entities))
+    if not _is_explicit(args, "seed"):
+        args.seed = int(dataset.get("seed", args.seed))
+    args.source0 = dataset.get("source0") or args.source0
+    args.source1 = dataset.get("source1") or args.source1
+    args.ground_truth = dataset.get("ground_truth") or args.ground_truth
+    args.id_field = dataset.get("id_field") or args.id_field
+
+
+def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
+    """The stage-graph spec of this invocation: --spec file or canonical."""
+    if args.spec:
+        spec = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        if not isinstance(spec, dict):
+            raise SparkERError(f"spec file {args.spec} must hold a JSON object")
+        _apply_spec_dataset(args, spec)
+        # CLI engine flags override the spec's engine section.
+        if args.engine or args.executor or args.workers is not None:
+            engine_section = dict(spec.get("engine") or {})
+            engine_section["enabled"] = True
+            executor = _executor_spec(args)
+            if executor is not None:
+                engine_section["executor"] = executor
+            spec["engine"] = engine_section
+        return spec
     config = _config_from_args(args)
     use_engine = args.engine or bool(args.executor) or args.workers is not None
-    pipeline = SparkER(config, use_engine=use_engine, executor=_executor_spec(args))
-    ground_truth = dataset.ground_truth if len(dataset.ground_truth) else None
-    try:
-        result = pipeline.run(dataset.profiles, ground_truth)
-    finally:
-        pipeline.shutdown()
+    return SparkER.canonical_spec(
+        config, use_engine=use_engine, executor=_executor_spec(args)
+    )
 
-    print(f"dataset: {dataset.summary()}")
-    print()
+
+def _print_result(dataset: DatasetPair | None, result: PipelineResult) -> None:
+    if dataset is not None:
+        print(f"dataset: {dataset.summary()}")
+        print()
     print(format_table(result.report.as_rows(), title="pipeline stages"))
+    print()
+    print(format_table(result.stage_rows(), title="stage executions"))
     print()
     print(f"summary: {result.summary()}")
 
-    if args.output:
+
+def _write_run_outputs(args: argparse.Namespace, result: PipelineResult) -> None:
+    if getattr(args, "output", None):
         Path(args.output).write_text(json.dumps(result.entities, indent=2), encoding="utf-8")
         print(f"entities written to {args.output}")
-    if args.save_config:
+    if getattr(args, "output_config", None):
+        resolved = dict(result.spec)
+        if hasattr(args, "synthetic"):  # the resume command carries no dataset args
+            resolved["dataset"] = _dataset_section(args)
+        Path(args.output_config).write_text(
+            json.dumps(resolved, indent=2), encoding="utf-8"
+        )
+        print(f"resolved pipeline spec written to {args.output_config}")
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    spec = _build_run_spec(args)
+    dataset = _load_dataset(args)
+    # Remove the dataset section before handing the spec to the pipeline —
+    # it is CLI provenance, not a stage-graph concern.
+    spec = {key: value for key, value in spec.items() if key != "dataset"}
+    pipeline = Pipeline.from_spec(spec)
+    ground_truth = dataset.ground_truth if len(dataset.ground_truth) else None
+    try:
+        result = pipeline.run(
+            dataset.profiles,
+            ground_truth,
+            checkpoint=args.checkpoint,
+            stop_after=args.stop_after,
+        )
+    finally:
+        pipeline.shutdown()
+
+    _print_result(dataset, result)
+    if result.partial:
+        hint = (
+            f"; resume with: python -m repro.cli resume --checkpoint {args.checkpoint}"
+            if args.checkpoint
+            else ""
+        )
+        print(f"stopped after {args.stop_after!r}{hint}")
+    _write_run_outputs(args, result)
+    if args.save_config and not args.spec:
+        config = _config_from_args(args)
         Path(args.save_config).write_text(
             json.dumps(config.as_dict(), indent=2), encoding="utf-8"
         )
         print(f"configuration written to {args.save_config}")
+    return 0
+
+
+def _command_resume(args: argparse.Namespace) -> int:
+    result = Pipeline.resume(args.checkpoint, stop_after=args.stop_after)
+    _print_result(None, result)
+    _write_run_outputs(args, result)
+    return 0
+
+
+def _command_stages(args: argparse.Namespace) -> int:
+    rows = stage_catalog()
+    if args.stage:
+        rows = [row for row in rows if row["stage"] == args.stage]
+        if not rows:
+            raise PipelineValidationError(f"unknown stage {args.stage!r}")
+    print(format_table(rows, title="registered pipeline stages"))
     return 0
 
 
@@ -185,9 +324,10 @@ def build_parser() -> argparse.ArgumentParser:
     def add_dataset_arguments(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--synthetic", choices=sorted(_SYNTHETIC_GENERATORS), default=None,
                          help="use a built-in synthetic dataset instead of input files")
-        sub.add_argument("--entities", type=int, default=200,
+        sub.add_argument("--entities", type=int, default=200, action=_TrackExplicit,
                          help="number of entities for the synthetic generators")
-        sub.add_argument("--seed", type=int, default=42, help="synthetic generator seed")
+        sub.add_argument("--seed", type=int, default=42, action=_TrackExplicit,
+                         help="synthetic generator seed")
         sub.add_argument("--source0", help="first dataset (CSV or JSON)")
         sub.add_argument("--source1", help="second dataset for clean-clean ER")
         sub.add_argument("--ground-truth", help="CSV of matching original-id pairs")
@@ -210,9 +350,40 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="process-pool worker count (implies --executor process; "
                           "default: CPU count)")
+    run.add_argument("--spec", default=None,
+                     help="run a declarative stage-graph spec (JSON file) instead of "
+                          "the canonical SparkER wiring")
+    run.add_argument("--checkpoint", default=None,
+                     help="directory to checkpoint the run state into after each stage")
+    run.add_argument("--stop-after", default=None, metavar="LABEL",
+                     help="stop after this stage label (use with --checkpoint, then "
+                          "'resume' to continue)")
     run.add_argument("--output", help="write resolved entities to this JSON file")
+    run.add_argument("--output-config", default=None,
+                     help="write the resolved pipeline spec (stages run + resolved "
+                          "parameters + dataset) to this JSON file; feed it back "
+                          "through --spec to reproduce the run")
     run.add_argument("--save-config", help="write the used configuration to this JSON file")
     run.set_defaults(handler=_command_run)
+
+    resume = subparsers.add_parser(
+        "resume", help="resume a checkpointed pipeline run"
+    )
+    resume.add_argument("--checkpoint", required=True,
+                        help="checkpoint directory written by 'run --checkpoint'")
+    resume.add_argument("--stop-after", default=None, metavar="LABEL",
+                        help="stop again after this stage label")
+    resume.add_argument("--output", help="write resolved entities to this JSON file")
+    resume.add_argument("--output-config", default=None,
+                        help="write the resolved pipeline spec to this JSON file")
+    resume.set_defaults(handler=_command_resume)
+
+    stages = subparsers.add_parser(
+        "stages", help="list the registered pipeline stages and their parameters"
+    )
+    stages.add_argument("--stage", default=None,
+                        help="show only this stage")
+    stages.set_defaults(handler=_command_stages)
 
     partition = subparsers.add_parser(
         "partition", help="show the attribute partitioning at a threshold"

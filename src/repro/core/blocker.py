@@ -15,17 +15,21 @@ from repro.blocking.block import BlockCollection
 from repro.blocking.filtering import BlockFiltering
 from repro.blocking.loose_schema_blocking import LooseSchemaTokenBlocking
 from repro.blocking.purging import BlockPurging
-from repro.blocking.stats import candidate_pair_stats, compute_blocking_stats
+from repro.blocking.stats import block_stage_metrics, candidate_pair_stats
 from repro.blocking.token_blocking import TokenBlocking
 from repro.core.config import BlockerConfig
 from repro.data.dataset import ProfileCollection
 from repro.data.ground_truth import GroundTruth
 from repro.engine.context import EngineContext
 from repro.evaluation.report import PipelineReport
-from repro.looseschema.attribute_partitioning import AttributePartitioner, AttributePartitioning
+from repro.looseschema.attribute_partitioning import (
+    AttributePartitioner,
+    AttributePartitioning,
+    loose_schema_metrics,
+)
 from repro.looseschema.entropy import EntropyExtractor
-from repro.metablocking.metablocker import MetaBlocker, MetaBlockingResult
-from repro.metablocking.parallel import ParallelMetaBlocker
+from repro.metablocking.metablocker import MetaBlockingResult
+from repro.metablocking.parallel import make_meta_blocker
 from repro.utils.timers import StageTimings
 
 
@@ -160,14 +164,7 @@ class Blocker:
             entropies = EntropyExtractor().extract(profiles, partitioning)
         report.cluster_entropies = entropies
         report.pipeline_report.add(
-            "loose_schema",
-            {
-                "clusters": len(partitioning.non_blob_clusters()),
-                "blob_attributes": len(
-                    partitioning.clusters.get(partitioning.blob_cluster_id, set())
-                ),
-                "entropies": {k: round(v, 3) for k, v in sorted(entropies.items())},
-            },
+            "loose_schema", loose_schema_metrics(partitioning, entropies)
         )
 
         return LooseSchemaTokenBlocking(
@@ -179,14 +176,8 @@ class Blocker:
         )
 
     def _build_meta_blocker(self):
-        if self.engine is not None:
-            return ParallelMetaBlocker(
-                self.engine,
-                weighting=self.config.weighting_scheme,
-                pruning=self.config.pruning_strategy,
-                use_entropy=self.config.use_entropy,
-            )
-        return MetaBlocker(
+        return make_meta_blocker(
+            self.engine,
             weighting=self.config.weighting_scheme,
             pruning=self.config.pruning_strategy,
             use_entropy=self.config.use_entropy,
@@ -200,17 +191,7 @@ class Blocker:
         ground_truth: GroundTruth | None,
         max_comparisons: int,
     ) -> None:
-        if ground_truth is not None:
-            stats = compute_blocking_stats(
-                blocks, ground_truth, max_comparisons=max_comparisons
-            )
-            report.pipeline_report.add(stage, stats.as_dict())
-        else:
-            report.pipeline_report.add(
-                stage,
-                {
-                    "blocks": len(blocks),
-                    "candidate_pairs": len(blocks.distinct_comparisons()),
-                    "total_comparisons": blocks.total_comparisons(),
-                },
-            )
+        report.pipeline_report.add(
+            stage,
+            block_stage_metrics(blocks, ground_truth, max_comparisons=max_comparisons),
+        )

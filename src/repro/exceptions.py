@@ -39,3 +39,12 @@ class ClusteringError(SparkERError):
 
 class EvaluationError(SparkERError):
     """Evaluation was requested without the required ground truth."""
+
+
+class PipelineError(SparkERError):
+    """A stage-graph pipeline was composed or executed incorrectly."""
+
+
+class PipelineValidationError(PipelineError):
+    """A pipeline spec failed composition-time validation (missing or
+    mistyped artifacts, unknown stages, bad parameters)."""

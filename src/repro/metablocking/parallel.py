@@ -479,3 +479,27 @@ class ParallelMetaBlocker:
         )
         required = 2 if pruning.reciprocal else 1
         return self._retained_from_votes(votes, edge_list, weights, required)
+
+
+def make_meta_blocker(
+    engine: "EngineContext | None" = None,
+    *,
+    weighting: "str | WeightingScheme" = WeightingScheme.CBS,
+    pruning: "str | PruningStrategy" = "wep",
+    use_entropy: bool = False,
+) -> "ParallelMetaBlocker | MetaBlocker":
+    """Build the meta-blocker matching the execution substrate.
+
+    The broadcast-join :class:`ParallelMetaBlocker` when an engine context is
+    given, the sequential reference :class:`~repro.metablocking.metablocker.
+    MetaBlocker` otherwise — the two are bit-for-bit equivalent.  Shared by
+    the legacy :class:`repro.core.blocker.Blocker` and the pipeline stage
+    adapter.
+    """
+    from repro.metablocking.metablocker import MetaBlocker
+
+    if engine is not None:
+        return ParallelMetaBlocker(
+            engine, weighting=weighting, pruning=pruning, use_entropy=use_entropy
+        )
+    return MetaBlocker(weighting=weighting, pruning=pruning, use_entropy=use_entropy)

@@ -1,0 +1,86 @@
+"""Checkpoint/resume support for pipeline runs.
+
+After every completed stage the runner serialises the whole run state — the
+resolved spec, the artifact store, the report, the per-stage execution
+records and the input data — into one pickle under the checkpoint directory.
+A re-run with ``resume=True`` (or ``python -m repro.cli resume``) loads that
+state, verifies the spec still matches, and skips every completed stage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import PipelineError
+
+STATE_FILE = "pipeline_state.pkl"
+MANIFEST_FILE = "pipeline_manifest.json"
+CHECKPOINT_VERSION = 1
+
+
+class PipelineCheckpoint:
+    """One checkpoint directory: an atomic pickle plus a readable manifest."""
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.directory = Path(path)
+
+    @property
+    def state_path(self) -> Path:
+        return self.directory / STATE_FILE
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / MANIFEST_FILE
+
+    def exists(self) -> bool:
+        """True when a state file is present."""
+        return self.state_path.is_file()
+
+    # ------------------------------------------------------------------ save
+    def save(self, state: dict[str, Any]) -> None:
+        """Atomically persist ``state`` (tmp file + rename).
+
+        A crash mid-save leaves the previous checkpoint intact, so a resumed
+        run can only ever lose the latest stage, never the whole run.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        state = dict(state)
+        state["version"] = CHECKPOINT_VERSION
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=STATE_FILE, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, self.state_path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "completed": list(state.get("completed", [])),
+            "stages": [entry.get("stage") for entry in state.get("spec", {}).get("stages", [])],
+            "artifacts": state.get("artifact_manifest", {}),
+        }
+        self.manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+
+    # ------------------------------------------------------------------ load
+    def load(self) -> dict[str, Any]:
+        """Load and version-check the persisted run state."""
+        if not self.exists():
+            raise PipelineError(f"no checkpoint found at {self.state_path}")
+        with self.state_path.open("rb") as handle:
+            state = pickle.load(handle)
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise PipelineError(
+                f"checkpoint version {version!r} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return state

@@ -1,0 +1,104 @@
+"""The string-keyed stage registry.
+
+Every built-in stage registers itself under its ``kind`` so pipelines are
+buildable from plain dict/JSON specs (``Pipeline.from_spec``) and the CLI can
+enumerate what is available (``python -m repro.cli stages``).  Third-party
+stages register through the same decorator.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.exceptions import PipelineValidationError
+from repro.pipeline.stage import Stage
+
+_REGISTRY: dict[str, type[Stage]] = {}
+
+
+def register_stage(stage_class: type[Stage]) -> type[Stage]:
+    """Class decorator: register ``stage_class`` under its ``kind``."""
+    kind = stage_class.kind
+    if not kind:
+        raise PipelineValidationError(
+            f"stage class {stage_class.__name__} declares no kind"
+        )
+    existing = _REGISTRY.get(kind)
+    if existing is not None and existing is not stage_class:
+        raise PipelineValidationError(
+            f"stage kind {kind!r} is already registered to {existing.__name__}"
+        )
+    _REGISTRY[kind] = stage_class
+    return stage_class
+
+
+def registered_stages() -> dict[str, type[Stage]]:
+    """A copy of the kind → class registry."""
+    return dict(_REGISTRY)
+
+
+def get_stage_class(kind: str) -> type[Stage]:
+    """Look up a stage class; raise a helpful error on unknown kinds."""
+    try:
+        return _REGISTRY[kind]
+    except KeyError as exc:
+        valid = ", ".join(sorted(_REGISTRY))
+        raise PipelineValidationError(
+            f"unknown stage kind {kind!r}; registered stages: {valid}"
+        ) from exc
+
+
+def make_stage(kind: str, params: dict[str, object] | None = None) -> Stage:
+    """Instantiate the stage registered under ``kind`` with ``params``."""
+    stage_class = get_stage_class(kind)
+    try:
+        return stage_class(**(params or {}))
+    except TypeError as exc:
+        accepted = ", ".join(stage_parameters(kind)) or "(none)"
+        raise PipelineValidationError(
+            f"bad parameters for stage {kind!r}: {exc}; accepted: {accepted}"
+        ) from exc
+
+
+def stage_parameters(kind: str) -> dict[str, object]:
+    """Name → default mapping of the constructor parameters of ``kind``."""
+    stage_class = get_stage_class(kind)
+    parameters: dict[str, object] = {}
+    for name, parameter in inspect.signature(stage_class.__init__).parameters.items():
+        if name == "self" or parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        default = parameter.default
+        parameters[name] = None if default is inspect.Parameter.empty else default
+    return parameters
+
+
+def stage_catalog() -> list[dict[str, object]]:
+    """One row per registered stage: kind, ports, parameters, summary.
+
+    This is the data behind ``python -m repro.cli stages`` and the README's
+    registry table.
+    """
+    rows: list[dict[str, object]] = []
+    for kind in sorted(_REGISTRY):
+        stage_class = _REGISTRY[kind]
+        doc = inspect.getdoc(stage_class) or ""
+        summary = doc.splitlines()[0] if doc else ""
+        rows.append(
+            {
+                "stage": kind,
+                "inputs": ", ".join(
+                    spec.name if spec.required else f"{spec.name}?"
+                    for spec in stage_class.inputs
+                ),
+                "outputs": ", ".join(spec.name for spec in stage_class.outputs),
+                "parameters": ", ".join(
+                    f"{name}={default!r}"
+                    for name, default in stage_parameters(kind).items()
+                ),
+                "summary": summary,
+            }
+        )
+    return rows

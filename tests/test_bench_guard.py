@@ -39,3 +39,11 @@ def test_vote_shuffle_wire_format_within_tolerance_of_baseline():
 
     failures = check_shuffle_against_baseline(tolerance=0.1)
     assert not failures, "; ".join(failures)
+
+
+def test_pipeline_runner_overhead_within_ceiling_of_facade():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_guard import check_pipeline_against_facade
+
+    failures = check_pipeline_against_facade()
+    assert not failures, "; ".join(failures)

@@ -141,6 +141,100 @@ class TestRunCommand:
         assert exit_code == 0
 
 
+class TestStagesCommand:
+    def test_lists_registered_stages(self, capsys):
+        assert main(["stages"]) == 0
+        captured = capsys.readouterr().out
+        assert "registered pipeline stages" in captured
+        for kind in ("token_blocking", "meta_blocking", "matching", "clustering"):
+            assert kind in captured
+
+    def test_single_stage_filter(self, capsys):
+        assert main(["stages", "--stage", "meta_blocking"]) == 0
+        captured = capsys.readouterr().out
+        assert "meta_blocking" in captured
+        assert "token_blocking" not in captured
+
+    def test_unknown_stage_is_a_clean_error(self, capsys):
+        assert main(["stages", "--stage", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSpecRun:
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "dataset": {"synthetic": "abt-buy", "entities": 40, "seed": 3},
+            "stages": [
+                {"stage": "token_blocking"},
+                {"stage": "block_purging"},
+                {"stage": "block_filtering"},
+                {"stage": "meta_blocking"},
+                {"stage": "matching"},
+                {"stage": "clustering"},
+                {"stage": "entity_generation"},
+            ],
+        }))
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "pipeline stages" in captured
+        assert "stage executions" in captured
+
+    def test_output_config_round_trips(self, capsys, tmp_path):
+        resolved = tmp_path / "resolved.json"
+        assert main([
+            "run", "--synthetic", "abt-buy", "--entities", "40",
+            "--output-config", str(resolved),
+        ]) == 0
+        first = capsys.readouterr().out
+        spec = json.loads(resolved.read_text())
+        assert spec["dataset"] == {"synthetic": "abt-buy", "entities": 40, "seed": 42}
+        assert [entry["stage"] for entry in spec["stages"]] == [
+            "loose_schema", "token_blocking", "block_purging", "block_filtering",
+            "meta_blocking", "matching", "clustering", "entity_generation",
+        ]
+        assert spec["stages"][4]["params"]["pruning"] == "wnp"
+        assert main(["run", "--spec", str(resolved)]) == 0
+        second = capsys.readouterr().out
+
+        def metrics_table(output):
+            lines = output.splitlines()
+            start = lines.index("pipeline stages")
+            return lines[start:lines.index("", start)]
+
+        assert metrics_table(first) == metrics_table(second)
+
+    def test_bad_spec_is_a_clean_error(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"stages": [{"stage": "nope"}]}))
+        assert main(["run", "--spec", str(spec_path),
+                     "--synthetic", "abt-buy", "--entities", "30"]) == 2
+        assert "unknown stage kind" in capsys.readouterr().err
+
+
+class TestResumeCommand:
+    def test_stop_after_then_resume(self, capsys, tmp_path):
+        checkpoint = tmp_path / "ckpt"
+        assert main([
+            "run", "--synthetic", "abt-buy", "--entities", "40",
+            "--checkpoint", str(checkpoint), "--stop-after", "meta_blocking",
+        ]) == 0
+        captured = capsys.readouterr().out
+        assert "stopped after 'meta_blocking'" in captured
+        output = tmp_path / "entities.json"
+        assert main(["resume", "--checkpoint", str(checkpoint),
+                     "--output", str(output)]) == 0
+        captured = capsys.readouterr().out
+        assert "resumed" in captured
+        assert "summary:" in captured
+        entities = json.loads(output.read_text())
+        assert isinstance(entities, list) and entities
+
+    def test_resume_missing_checkpoint_is_a_clean_error(self, capsys, tmp_path):
+        assert main(["resume", "--checkpoint", str(tmp_path / "nope")]) == 2
+        assert "no checkpoint" in capsys.readouterr().err
+
+
 class TestPartitionCommand:
     def test_partition_output(self, capsys):
         exit_code = main(
