@@ -1,20 +1,26 @@
 """Old-vs-new meta-blocking kernel benchmark (perf trajectory entry #1).
 
-Times the two hot paths the CSR kernel replaced, across graph sizes:
+Times the hot paths of the meta-blocking kernel, across graph sizes:
 
-* **neighbourhood / edge weighing** — the legacy path materialises each
+* **legacy vs CSR python kernel** — the pre-CSR path materialises each
   neighbour's *full* neighbourhood again per edge to read its degree
   (O(Σ deg²) dict-of-tuples traversals) and emits every edge twice; the
   kernel path materialises each node's neighbourhood exactly once into
   reusable scratch buffers, reads degrees from the cached degree vector and
-  emits each edge from its lower endpoint only.
-* **WNP / CNP node pruning** — the legacy path scans *every* weighted edge
-  per node (O(nodes × edges)); the new path builds the incident-edge
-  adjacency index once and looks each node up in O(degree).
+  emits each edge from its lower endpoint only.  Likewise WNP / CNP voting:
+  full edge scan per node vs the incident-edge adjacency index.
+* **python vs numpy kernel backend** (``numpy_entries``) — the interpreted
+  CSR kernel against the vectorised
+  :class:`~repro.metablocking.backends.NumpyKernel` on the same three paths:
+  neighbourhood weighing (kernel sweep → weight table), WNP and CNP
+  retention.  Output equality is asserted *bit-for-bit* — identical dicts,
+  identical floats — before any timing is recorded; the guard enforces the
+  ≥3× combined-speedup floor at the largest committed size.
 
-Both paths must produce identical results; the benchmark asserts it, then
-writes ``BENCH_metablocking.json`` next to the repo root as the committed
-baseline that ``scripts/bench_guard.py`` checks regressions against.
+Both comparisons must produce identical results; the benchmark asserts it,
+then writes ``BENCH_metablocking.json`` next to the repo root as the
+committed baseline that ``scripts/bench_guard.py`` checks regressions
+against.
 
 Run directly::
 
@@ -46,6 +52,7 @@ from repro.metablocking.parallel import (
     edge_id_incidence,
     incident_edge_index,
 )
+from repro.metablocking.pruning import default_cnp_k
 from repro.metablocking.weights import WeightingScheme, compute_edge_weight
 
 DEFAULT_SIZES = (100, 200, 400)
@@ -206,7 +213,10 @@ def run_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
     for num_entities in sizes:
         dataset, blocks = prepare_blocks(num_entities)
         legacy_index = CompactBlockIndex.from_blocks(blocks)
-        csr_index = CSRBlockIndex.from_blocks(blocks)
+        # Pin the python backend: these entries measure the interpreted CSR
+        # kernel against the legacy dict path; the numpy backend has its own
+        # comparison pass (run_numpy_benchmark).
+        csr_index = CSRBlockIndex.from_blocks(blocks, backend="python")
         csr_index.degree_vector()
 
         legacy_weights, legacy_neigh_s = _timed(legacy_edge_weights, legacy_index)
@@ -214,8 +224,7 @@ def run_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
         assert kernel_weights == legacy_weights, "edge weights diverged"
 
         nodes = sorted(legacy_index.profile_blocks)
-        total_assignments = sum(csr_index.node_block_count)
-        k = max(1, total_assignments // max(1, csr_index.num_nodes) - 1)
+        k = default_cnp_k(sum(csr_index.node_block_count), csr_index.num_nodes)
 
         legacy_wnp_result, legacy_wnp_s = _timed(legacy_wnp, kernel_weights, nodes)
         kernel_wnp_result, kernel_wnp_s = _timed(kernel_wnp, kernel_weights, nodes)
@@ -326,11 +335,10 @@ def run_shuffle_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
     entries = []
     for num_entities in sizes:
         _dataset, blocks = prepare_blocks(num_entities)
-        csr_index = CSRBlockIndex.from_blocks(blocks)
+        csr_index = CSRBlockIndex.from_blocks(blocks, backend="python")
         weights = kernel_edge_weights(csr_index)
         node_ids = list(csr_index.node_ids)
-        total_assignments = sum(csr_index.node_block_count)
-        k = max(1, total_assignments // max(1, csr_index.num_nodes) - 1)
+        k = default_cnp_k(sum(csr_index.node_block_count), csr_index.num_nodes)
 
         # One throwaway context per job keeps the stage tables separable;
         # broadcasts are re-created because they are context-owned.
@@ -375,6 +383,103 @@ def run_shuffle_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
             f"(-{entry['cnp']['bytes_reduction']:.0%})"
         )
     return entries
+
+
+# ------------------------------------------------------- numpy backend pass
+def _numpy_weight_table(index):
+    """One full numpy weighting job: fresh kernel sweep → weight table.
+
+    The cached kernel (and its whole-graph sweep) is dropped first so every
+    repeat measures the complete job, not a cache hit.
+    """
+    from repro.metablocking.weights import WeightingScheme
+
+    index._kernel = None
+    plan = index.weight_plan(WeightingScheme.CBS, False)
+    return index.kernel().weight_table(plan)
+
+
+def _numpy_wnp(table):
+    from repro.metablocking.backends import wnp_retain
+
+    return wnp_retain(table, 1)
+
+
+def _numpy_cnp(table, k):
+    from repro.metablocking.backends import cnp_retain
+
+    table._canonical_rank = None  # measure the full job, not the rank cache
+    return cnp_retain(table, k, 1)
+
+
+def run_numpy_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
+    """Python vs numpy kernel backend on neighbourhood + WNP + CNP.
+
+    Both backends run the same jobs over the same blocks; the outputs are
+    asserted equal — bit-for-bit, float weights included — before any timing
+    counts.  Skips cleanly (empty list) when numpy is not importable.
+    """
+    from repro.metablocking.backends import numpy_available
+
+    if not numpy_available():
+        print("numpy not importable — skipping the numpy backend comparison")
+        return []
+    entries = []
+    for num_entities in sizes:
+        _dataset, blocks = prepare_blocks(num_entities)
+        python_index = CSRBlockIndex.from_blocks(blocks, backend="python")
+        numpy_index = CSRBlockIndex.from_blocks(blocks, backend="numpy")
+
+        python_weights, python_neigh_s = _timed(kernel_edge_weights, python_index)
+        table, numpy_neigh_s = _timed(_numpy_weight_table, numpy_index)
+        assert table.mapping == python_weights, "backend edge weights diverged"
+        assert list(table.mapping) == list(python_weights), (
+            "backend edge emission order diverged"
+        )
+
+        nodes = list(python_index.node_ids)
+        k = default_cnp_k(
+            sum(python_index.node_block_count), python_index.num_nodes
+        )
+
+        python_wnp, python_wnp_s = _timed(kernel_wnp, python_weights, nodes)
+        numpy_wnp, numpy_wnp_s = _timed(_numpy_wnp, table)
+        assert numpy_wnp == python_wnp, "backend WNP output diverged"
+
+        python_cnp, python_cnp_s = _timed(kernel_cnp, python_weights, nodes, k)
+        numpy_cnp, numpy_cnp_s = _timed(_numpy_cnp, table, k)
+        assert numpy_cnp == python_cnp, "backend CNP output diverged"
+
+        python_total = python_neigh_s + python_wnp_s + python_cnp_s
+        numpy_total = numpy_neigh_s + numpy_wnp_s + numpy_cnp_s
+        entry = {
+            "num_entities": num_entities,
+            "edges": len(python_weights),
+            "neighbourhood": _backend_ratio(python_neigh_s, numpy_neigh_s),
+            "wnp": _backend_ratio(python_wnp_s, numpy_wnp_s),
+            "cnp": _backend_ratio(python_cnp_s, numpy_cnp_s),
+            "combined": _backend_ratio(python_total, numpy_total),
+        }
+        entries.append(entry)
+        print(
+            f"[{num_entities:>4} entities] python vs numpy backend | "
+            f"neighbourhood {python_neigh_s:.3f}s -> {numpy_neigh_s:.3f}s "
+            f"({entry['neighbourhood']['speedup']:.1f}x) | "
+            f"wnp {python_wnp_s:.3f}s -> {numpy_wnp_s:.3f}s "
+            f"({entry['wnp']['speedup']:.1f}x) | "
+            f"cnp {python_cnp_s:.3f}s -> {numpy_cnp_s:.3f}s "
+            f"({entry['cnp']['speedup']:.1f}x) | "
+            f"combined {entry['combined']['speedup']:.1f}x"
+        )
+    return entries
+
+
+def _backend_ratio(python_s: float, numpy_s: float) -> dict:
+    return {
+        "python_s": round(python_s, 6),
+        "numpy_s": round(numpy_s, 6),
+        "speedup": round(python_s / numpy_s, 2) if numpy_s > 0 else float("inf"),
+    }
 
 
 # --------------------------------------------------------------- end-to-end
@@ -442,10 +547,15 @@ def main(argv=None) -> int:
         "--skip-shuffle", action="store_true",
         help="keep the committed shuffle entries; skip the wire-format section",
     )
+    parser.add_argument(
+        "--skip-numpy", action="store_true",
+        help="keep the committed numpy-backend entries; skip that comparison",
+    )
     args = parser.parse_args(argv)
 
+    any_skip = args.skip_kernel or args.skip_e2e or args.skip_shuffle or args.skip_numpy
     existing = {}
-    if (args.skip_kernel or args.skip_e2e or args.skip_shuffle) and args.output.exists():
+    if any_skip and args.output.exists():
         existing = json.loads(args.output.read_text())
     entries = (
         existing.get("entries", []) if args.skip_kernel else run_benchmark(args.sizes)
@@ -460,12 +570,18 @@ def main(argv=None) -> int:
         if args.skip_shuffle
         else run_shuffle_benchmark(args.sizes)
     )
+    numpy_entries = (
+        existing.get("numpy_entries", [])
+        if args.skip_numpy
+        else run_numpy_benchmark(args.sizes)
+    )
     if not args.dry_run:
         payload = {
             "benchmark": "metablocking_kernel",
             "entries": entries,
             "e2e_entries": e2e_entries,
             "shuffle_entries": shuffle_entries,
+            "numpy_entries": numpy_entries,
         }
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline written to {args.output}")

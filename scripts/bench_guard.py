@@ -1,8 +1,8 @@
 """Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Four guards, all built on ratios that are largely machine-independent; the
-first three compare against the committed ``BENCH_metablocking.json``
-baseline, the fourth measures both sides fresh:
+Five guards, all built on ratios that are largely machine-independent; the
+first four compare against the committed ``BENCH_metablocking.json``
+baseline, the fifth measures both sides fresh:
 
 * **kernel** — re-runs ``benchmarks/bench_metablocking_kernel.py`` at its
   smallest size and checks the kernel *speedups* (legacy time / kernel
@@ -18,6 +18,12 @@ baseline, the fourth measures both sides fresh:
   the legacy ``((a, b), (weight, count))`` tuple format.  Deterministic (no
   timing): fails when the byte reduction drops below the hard 40 percent
   floor or regresses below ``1 - tolerance`` of the committed reduction.
+* **numpy kernel backend** — re-runs the python-vs-numpy backend comparison
+  at the *largest* committed size and fails when the combined
+  neighbourhood + WNP + CNP speedup of the vectorised kernel drops below
+  the hard 3× floor, or any tracked path falls below ``1 - tolerance`` of
+  its committed speedup.  Skips cleanly when numpy is not importable (the
+  pure-python fallback has no vectorised kernel to guard).
 * **pipeline runner** — times the ``SparkER`` facade against
   ``Pipeline.from_spec`` end-to-end on the same dataset and fails when the
   declarative stage-graph runner costs more than 5 percent over the facade
@@ -104,6 +110,62 @@ def check_e2e_against_baseline(
             f"path (baseline {expected:.2f}x, ceiling {ceiling:.2f}x)"
         ]
     return []
+
+
+NUMPY_FLOOR = 3.0  # acceptance floor: numpy backend ≥3× the python backend
+NUMPY_PATHS = ("neighbourhood", "wnp", "cnp")
+
+
+def check_numpy_against_baseline(
+    tolerance: float = 0.2, baseline_path: Path = BASELINE_PATH
+) -> list[str]:
+    """Guard the numpy kernel backend speedups; return failure messages.
+
+    The acceptance criterion (combined speedup ≥ ``NUMPY_FLOOR``) is
+    enforced on the *largest* committed size — re-measured, not just read
+    from the baseline — plus a baseline-relative tolerance per tracked path.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_metablocking_kernel import run_numpy_benchmark
+
+    from repro.metablocking.backends import numpy_available
+
+    if not numpy_available():
+        print("numpy not importable — skipping the numpy backend guard")
+        return []
+    baseline = json.loads(baseline_path.read_text())
+    numpy_entries = baseline.get("numpy_entries")
+    if not numpy_entries:
+        return [
+            "no numpy-backend baseline committed — regenerate with "
+            "`python benchmarks/bench_metablocking_kernel.py`"
+        ]
+    failures: list[str] = []
+    largest = max(numpy_entries, key=lambda entry: entry["num_entities"])
+    committed_combined = largest["combined"]["speedup"]
+    if committed_combined < NUMPY_FLOOR:
+        failures.append(
+            f"numpy: committed combined speedup {committed_combined:.1f}x at the "
+            f"largest size is below the {NUMPY_FLOOR:.0f}x floor"
+        )
+    current = run_numpy_benchmark(sizes=[largest["num_entities"]])[0]
+    measured_combined = current["combined"]["speedup"]
+    if measured_combined < NUMPY_FLOOR:
+        failures.append(
+            f"numpy: combined neighbourhood+WNP+CNP speedup {measured_combined:.1f}x "
+            f"is below the {NUMPY_FLOOR:.0f}x floor (committed "
+            f"{committed_combined:.1f}x)"
+        )
+    for path in NUMPY_PATHS:
+        expected = largest[path]["speedup"]
+        measured = current[path]["speedup"]
+        floor = expected * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"numpy/{path}: backend speedup regressed to {measured:.1f}x "
+                f"(baseline {expected:.1f}x, floor {floor:.1f}x)"
+            )
+    return failures
 
 
 PIPELINE_CEILING = 1.05  # declarative runner must stay within 5% of the facade
@@ -211,6 +273,12 @@ def main(argv=None) -> int:
         help="allowed fractional shuffle byte-reduction regression (default 0.1 = 10%%)",
     )
     parser.add_argument(
+        "--numpy-tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional numpy-backend speedup regression (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
         "--pipeline-ceiling",
         type=float,
         default=PIPELINE_CEILING,
@@ -222,6 +290,7 @@ def main(argv=None) -> int:
     failures = check_against_baseline(args.tolerance, args.baseline)
     failures += check_e2e_against_baseline(args.e2e_tolerance, args.baseline)
     failures += check_shuffle_against_baseline(args.shuffle_tolerance, args.baseline)
+    failures += check_numpy_against_baseline(args.numpy_tolerance, args.baseline)
     failures += check_pipeline_against_facade(args.pipeline_ceiling)
     if failures:
         for failure in failures:
@@ -229,7 +298,8 @@ def main(argv=None) -> int:
         return 1
     print(
         "bench guard ok: kernel speedups, e2e engine overhead, vote-stage "
-        "shuffle wire format and pipeline-runner overhead within tolerance"
+        "shuffle wire format, numpy backend speedups and pipeline-runner "
+        "overhead within tolerance"
     )
     return 0
 

@@ -215,11 +215,20 @@ def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
             if executor is not None:
                 engine_section["executor"] = executor
             spec["engine"] = engine_section
+        if args.kernel_backend is not None:
+            # The kernel backend rides in the engine section but does not
+            # imply the engine: the sequential path selects a kernel too.
+            engine_section = dict(spec.get("engine") or {})
+            engine_section["kernel_backend"] = args.kernel_backend
+            spec["engine"] = engine_section
         return spec
     config = _config_from_args(args)
     use_engine = args.engine or bool(args.executor) or args.workers is not None
     return SparkER.canonical_spec(
-        config, use_engine=use_engine, executor=_executor_spec(args)
+        config,
+        use_engine=use_engine,
+        executor=_executor_spec(args),
+        kernel_backend=args.kernel_backend,
     )
 
 
@@ -350,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="process-pool worker count (implies --executor process; "
                           "default: CPU count)")
+    run.add_argument("--kernel-backend", choices=["auto", "python", "numpy"],
+                     default=None, dest="kernel_backend",
+                     help="meta-blocking kernel backend: 'numpy' vectorises the "
+                          "CSR kernel (bit-for-bit identical output), 'python' "
+                          "forces the interpreted kernel, 'auto' (default) picks "
+                          "numpy when importable")
     run.add_argument("--spec", default=None,
                      help="run a declarative stage-graph spec (JSON file) instead of "
                           "the canonical SparkER wiring")

@@ -65,6 +65,7 @@ class SparkERResult:
     timings: StageTimings = field(default_factory=StageTimings)
     engine_metrics: dict[str, object] = field(default_factory=dict)
     pipeline_result: PipelineResult | None = None
+    kernel_backend: str | None = None
 
     @property
     def matched_pairs(self) -> set[tuple[int, int]]:
@@ -84,6 +85,8 @@ class SparkERResult:
             "clusters": len(self.clusters),
             "entities": len(self.entities),
         }
+        if self.kernel_backend is not None:
+            summary["kernel_backend"] = self.kernel_backend
         if self.engine_metrics:
             summary["engine"] = dict(self.engine_metrics)
         return summary
@@ -118,6 +121,7 @@ class SparkER:
         *,
         use_engine: bool = False,
         executor: object | None = None,
+        kernel_backend: str | None = None,
         partitioning: AttributePartitioning | None = None,
         rules: Sequence[MatchingRule] | None = None,
         labeled_pairs: Sequence[tuple[int, int, bool]] | None = None,
@@ -138,6 +142,7 @@ class SparkER:
             self._executor_spec = self.engine.executor.name
         else:
             self._executor_spec = None
+        self.kernel_backend = kernel_backend
         self.partitioning = partitioning
         self.rules = rules
         self.labeled_pairs = labeled_pairs
@@ -151,6 +156,7 @@ class SparkER:
         *,
         use_engine: bool = False,
         executor: str | None = None,
+        kernel_backend: str | None = None,
     ) -> dict[str, object]:
         """The declarative stage-graph spec equivalent to this facade.
 
@@ -236,13 +242,16 @@ class SparkER:
             }
         )
         stages.append({"stage": "entity_generation"})
+        engine_section: dict[str, object] = {
+            "enabled": use_engine,
+            "parallelism": config.parallelism,
+            "executor": executor,
+        }
+        if kernel_backend is not None:
+            engine_section["kernel_backend"] = kernel_backend
         return {
             "name": "sparker",
-            "engine": {
-                "enabled": use_engine,
-                "parallelism": config.parallelism,
-                "executor": executor,
-            },
+            "engine": engine_section,
             "stages": stages,
         }
 
@@ -252,6 +261,7 @@ class SparkER:
             self.config,
             use_engine=self.engine is not None,
             executor=self._executor_spec,
+            kernel_backend=self.kernel_backend,
         )
         return Pipeline.from_spec(spec, engine=self.engine)
 
@@ -317,6 +327,7 @@ class SparkER:
             timings=timings,
             engine_metrics=result.engine_metrics,
             pipeline_result=result,
+            kernel_backend=result.kernel_backend,
         )
 
     def __call__(

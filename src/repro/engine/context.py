@@ -128,7 +128,18 @@ class EngineContext:
 
     # --------------------------------------------------------------- lifecycle
     def stop(self) -> None:
-        """Release engine resources (closes the executor if this context owns it)."""
+        """Release engine resources (closes the executor if this context owns it).
+
+        Broadcast values that hold OS-level shared state (e.g. a CSR index
+        exported to a :mod:`multiprocessing.shared_memory` segment) expose a
+        ``release_shared()`` hook; stopping the context releases them so no
+        ``/dev/shm`` segment outlives the run.
+        """
+        for broadcast in self._broadcasts.values():
+            value = getattr(broadcast, "_value", None)
+            release = getattr(value, "release_shared", None)
+            if callable(release):
+                release()
         if self._owns_executor:
             self.executor.close()
 

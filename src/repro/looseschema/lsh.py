@@ -12,8 +12,10 @@ with banding, exactly as described.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - typing only; numpy loads with MinHasher
+    import numpy as np
 
 from repro.data.dataset import ProfileCollection
 from repro.utils.hashing import MinHasher

@@ -1,5 +1,11 @@
 """Meta-blocking: blocking graph, edge weighting, pruning, entropy re-weighting."""
 
+from repro.metablocking.backends import (
+    NumpyKernel,
+    PythonKernel,
+    numpy_available,
+    resolve_backend_name,
+)
 from repro.metablocking.graph import BlockingGraph, EdgeInfo, build_blocking_graph
 from repro.metablocking.index import CSRBlockIndex, NeighbourhoodKernel
 from repro.metablocking.weights import WeightingScheme, compute_edge_weight
@@ -21,6 +27,10 @@ __all__ = [
     "build_blocking_graph",
     "CSRBlockIndex",
     "NeighbourhoodKernel",
+    "PythonKernel",
+    "NumpyKernel",
+    "numpy_available",
+    "resolve_backend_name",
     "WeightingScheme",
     "compute_edge_weight",
     "PruningStrategy",

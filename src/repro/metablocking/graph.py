@@ -102,17 +102,20 @@ class BlockingGraph:
         return adjacency
 
 
-def build_blocking_graph(blocks: BlockCollection) -> BlockingGraph:
+def build_blocking_graph(
+    blocks: BlockCollection, backend: "str | None" = None
+) -> BlockingGraph:
     """Materialise the blocking graph of ``blocks``.
 
-    Runs on the CSR :class:`~repro.metablocking.index.NeighbourhoodKernel` —
-    the same kernel the parallel meta-blocker broadcasts — materialising each
-    node's neighbourhood exactly once and inserting every edge from its lower
-    endpoint.  Each edge carries the block-comparison cardinality sum (ARCS)
-    and entropy sum (BLAST) accumulated in ascending block order, identical to
-    the parallel path's accumulation.
+    Runs on the CSR index's kernel backend (python or numpy — see
+    :mod:`repro.metablocking.backends`), the same kernel the parallel
+    meta-blocker broadcasts: each node's neighbourhood is materialised exactly
+    once and every edge inserted from its lower endpoint.  Each edge carries
+    the block-comparison cardinality sum (ARCS) and entropy sum (BLAST)
+    accumulated in ascending block order — both backends fix the same
+    accumulation order, so the graph is bit-for-bit identical either way.
     """
-    index = CSRBlockIndex.from_blocks(blocks)
+    index = CSRBlockIndex.from_blocks(blocks, backend=backend)
     return blocking_graph_from_index(
         index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
     )
@@ -131,15 +134,8 @@ def blocking_graph_from_index(
 
     kernel = index.kernel()
     edges = graph.edges
-    common, arcs, entropy = kernel.common_blocks, kernel.arcs, kernel.entropy_sum
     for node in range(index.num_nodes):
         profile_a = node_ids[node]
-        for other in kernel.neighbours(node):
-            if other <= node:
-                continue
-            edges[(profile_a, node_ids[other])] = EdgeInfo(
-                common_blocks=common[other],
-                arcs=arcs[other],
-                entropy_sum=entropy[other],
-            )
+        for other, info in kernel.edge_items(node):
+            edges[(profile_a, node_ids[other])] = info
     return graph

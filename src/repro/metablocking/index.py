@@ -3,7 +3,7 @@
 The paper's parallel meta-blocking never materialises the blocking graph as an
 edge list: each task receives a compact block index and materialises one node
 neighbourhood at a time.  This module is the compact index, stored as
-contiguous offset arrays (CSR style, stdlib :mod:`array` only):
+contiguous offset arrays (CSR style, stdlib :mod:`array` buffers):
 
 * ``node_block_offsets`` / ``node_block_entries`` — the blocks of each node
   (profile → blocks), with the node's source side encoded in the entry so no
@@ -19,14 +19,21 @@ contiguous offset arrays (CSR style, stdlib :mod:`array` only):
 Node ids are dense (0..n-1) and order-isomorphic to the profile ids
 (``node_ids`` is sorted), so canonical pair ordering carries over.
 
-The :class:`NeighbourhoodKernel` materialises neighbourhoods into reusable
-scratch buffers: per-node accumulators for shared-block count (CBS), summed
-reciprocal cardinalities (ARCS) and summed entropies (BLAST), reset in
-O(|neighbourhood|) via a touched list.  Both the sequential
-:func:`~repro.metablocking.graph.build_blocking_graph` and the parallel
-:class:`~repro.metablocking.parallel.ParallelMetaBlocker` run on this kernel,
-which is what guarantees their bit-for-bit output equivalence: identical
-accumulation order yields identical floats.
+Neighbourhood materialisation is delegated to a pluggable **kernel backend**
+(:mod:`repro.metablocking.backends`): the interpreted
+:class:`~repro.metablocking.backends.PythonKernel` (always available) or the
+vectorised :class:`~repro.metablocking.backends.NumpyKernel`, selected per
+index via ``CSRBlockIndex(backend=...)`` / ``from_blocks(..., backend=...)``,
+the ``REPRO_KERNEL_BACKEND`` environment variable, or ``auto`` (numpy when
+importable).  Both kernels share one emission order (node-major first-touch)
+and one accumulation order, which is what keeps every driving path —
+sequential graph builder, parallel weigher, progressive streams — bit-for-bit
+equivalent across backends and executors.
+
+Under the numpy backend the index can additionally export its buffers into a
+:class:`multiprocessing.shared_memory` segment (:meth:`export_shared`): the
+pickle then carries only the segment name and layout, so a process pool maps
+the index once per machine instead of deserialising a copy per worker.
 """
 
 from __future__ import annotations
@@ -34,18 +41,36 @@ from __future__ import annotations
 from array import array
 
 from repro.blocking.block import BlockCollection
+from repro.metablocking import backends as _backends
+from repro.metablocking.backends import (
+    PythonKernel as NeighbourhoodKernel,  # noqa: F401  (back-compat re-export)
+)
+
+# Buffers that travel through the shared-memory segment, with their typecode.
+_SHARED_FIELDS = (
+    ("node_block_offsets", "q"),
+    ("node_block_entries", "q"),
+    ("node_block_count", "q"),
+    ("block_offsets", "q"),
+    ("block_nodes", "q"),
+    ("block_split", "q"),
+    ("block_cardinality", "q"),
+    ("block_inv_cardinality", "d"),
+    ("block_entropy", "d"),
+)
 
 
 class CSRBlockIndex:
     """Array-backed block index shared by the sequential and parallel paths.
 
     Build with :meth:`from_blocks`; the constructor only wires pre-built
-    arrays together.
+    arrays together.  ``backend`` selects the neighbourhood kernel
+    (``"auto"`` / ``"python"`` / ``"numpy"``; ``None`` consults
+    ``REPRO_KERNEL_BACKEND`` then falls back to ``auto``).
     """
 
     __slots__ = (
         "node_ids",
-        "node_of",
         "node_block_offsets",
         "node_block_entries",
         "node_block_count",
@@ -57,14 +82,17 @@ class CSRBlockIndex:
         "block_entropy",
         "total_blocks",
         "clean_clean",
+        "_backend",
+        "_node_of",
         "_kernel",
         "_degrees",
         "_num_edges",
+        "_plans",
+        "_shared",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, backend: "str | None" = None) -> None:
         self.node_ids: list[int] = []
-        self.node_of: dict[int, int] = {}
         self.node_block_offsets = array("q", [0])
         self.node_block_entries = array("q")
         self.node_block_count = array("q")
@@ -78,25 +106,31 @@ class CSRBlockIndex:
         self.block_entropy = array("d")
         self.total_blocks = 0
         self.clean_clean = False
-        self._kernel: "NeighbourhoodKernel | None" = None
+        self._backend = _backends.resolve_backend_name(backend)
+        self._node_of: dict[int, int] | None = {}
+        self._kernel = None
         self._degrees: array | None = None
         self._num_edges: int | None = None
+        self._plans: dict = {}
+        self._shared = None
 
     # ------------------------------------------------------------------ build
     @classmethod
-    def from_blocks(cls, blocks: BlockCollection) -> "CSRBlockIndex":
+    def from_blocks(
+        cls, blocks: BlockCollection, backend: "str | None" = None
+    ) -> "CSRBlockIndex":
         """Build the index from a block collection (one pass over the blocks).
 
         Blocks that induce no comparison are skipped, exactly like the
         sequential graph builder; ``total_blocks`` still counts them because
         ECBS normalises by the raw collection size.
         """
-        index = cls()
+        index = cls(backend=backend)
         index.clean_clean = blocks.clean_clean
         index.total_blocks = len(blocks)
 
         valid: list[tuple[list[int], list[int], int, float, bool]] = []
-        node_of = index.node_of
+        node_of = index._node_of
         for block in blocks:
             cardinality = block.num_comparisons()
             if cardinality == 0:
@@ -152,19 +186,116 @@ class CSRBlockIndex:
         """Ship every array plus the cached degree vector, never the kernel.
 
         The index is the broadcast payload of the parallel meta-blocking;
-        each worker process builds its own scratch-buffer kernel on first
-        use, so the kernel (and its buffers) stays out of the pickle.
+        each worker process builds its own scratch kernel on first use, so
+        the kernel (and its buffers / cached sweeps and weight plans) stays
+        out of the pickle.  The cached degree vector and the per-block stat
+        vectors *do* ship, so workers never redo the one-pass sweeps.
+
+        When the buffers were exported to shared memory the state carries
+        only the segment name and field layout — the worker attaches and
+        maps, it never deserialises the buffers.
         """
-        return {
-            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_kernel"
+        small = {
+            "total_blocks": self.total_blocks,
+            "clean_clean": self.clean_clean,
+            "_backend": self._backend,
+            "_num_edges": self._num_edges,
         }
+        if self._shared is not None and not self._shared.released:
+            small["shared_name"] = self._shared.name
+            small["shared_layout"] = self._shared.layout
+            return small
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_kernel", "_plans", "_shared")
+        }
+        return state
 
     def __setstate__(self, state: dict) -> None:
+        self._kernel = None
+        self._plans = {}
+        self._shared = None
+        if "shared_name" in state:
+            self._attach_shared(state)
+            return
         for slot, value in state.items():
             setattr(self, slot, value)
-        self._kernel = None
+
+    def _attach_shared(self, state: dict) -> None:
+        """Rebuild from a shared-memory reference (worker side, zero-copy)."""
+        from repro.metablocking.sharedmem import SharedIndexBuffers
+
+        self._shared = SharedIndexBuffers.attach(
+            state["shared_name"], state["shared_layout"]
+        )
+        views = self._shared.views()
+        for field, _typecode in _SHARED_FIELDS:
+            setattr(self, field, views[field])
+        self.node_ids = views["node_ids"]
+        self._degrees = views["degrees"]
+        self._node_of = None  # rebuilt lazily; node_ids is the source of truth
+        self.total_blocks = state["total_blocks"]
+        self.clean_clean = state["clean_clean"]
+        self._backend = state["_backend"]
+        self._num_edges = state["_num_edges"]
+
+    # -------------------------------------------------------- shared memory
+    def export_shared(self):
+        """Copy the numeric buffers into one shared-memory segment.
+
+        After export, pickling this index ships only the segment reference;
+        process-pool workers attach instead of deserialising.  Requires the
+        numpy backend (the worker-side views are ndarrays) and includes the
+        degree vector, so it is resolved here if not already cached.
+
+        Idempotent; returns the :class:`SharedIndexBuffers` handle.  The
+        segment is unlinked by :meth:`release_shared` (wired to
+        ``EngineContext.stop()``) or, as a backstop, when the index is
+        garbage collected.
+        """
+        if self._shared is not None and not self._shared.released:
+            return self._shared
+        if self.backend != "numpy":
+            from repro.exceptions import MetaBlockingError
+
+            raise MetaBlockingError(
+                "export_shared() requires the numpy kernel backend"
+            )
+        import numpy as np
+
+        from repro.metablocking.sharedmem import SharedIndexBuffers
+
+        self.degree_vector()  # ships with the segment — workers never resweep
+        fields: dict = {
+            field: (getattr(self, field), typecode)
+            for field, typecode in _SHARED_FIELDS
+        }
+        fields["node_ids"] = (np.asarray(self.node_ids, dtype=np.int64), "q")
+        fields["degrees"] = (self._degrees, "q")
+        self._shared = SharedIndexBuffers.export(fields)
+        return self._shared
+
+    def release_shared(self) -> None:
+        """Unlink the exported segment (no-op when none was exported)."""
+        if self._shared is not None:
+            self._shared.release()
 
     # ------------------------------------------------------------- properties
+    @property
+    def backend(self) -> str:
+        """The resolved kernel backend of this index (``python`` / ``numpy``)."""
+        return self._backend
+
+    @property
+    def node_of(self) -> dict[int, int]:
+        """profile id → dense node id (rebuilt lazily after a shared attach)."""
+        if self._node_of is None:
+            ids = self.node_ids
+            ids = ids.tolist() if hasattr(ids, "tolist") else ids
+            self._node_of = {profile_id: dense for dense, profile_id in enumerate(ids)}
+        return self._node_of
+
     @property
     def num_nodes(self) -> int:
         return len(self.node_ids)
@@ -175,107 +306,43 @@ class CSRBlockIndex:
         return len(self.block_split)
 
     # ----------------------------------------------------------------- kernel
-    def kernel(self) -> "NeighbourhoodKernel":
-        """The (cached) scratch-buffer kernel bound to this index.
+    def kernel(self):
+        """The (cached) scratch kernel of the selected backend.
 
         The mini engine runs every task in one process, so the single cached
         kernel is shared by all partitions; tasks materialise neighbourhoods
         strictly one at a time.
         """
         if self._kernel is None:
-            self._kernel = NeighbourhoodKernel(self)
+            self._kernel = _backends.make_kernel(self)
         return self._kernel
 
-    def degree_vector(self) -> array:
+    def weight_plan(self, scheme, use_entropy: bool):
+        """The (cached) weight plan for one (scheme, use_entropy) job."""
+        from repro.metablocking.weights import WeightingScheme
+
+        key = (WeightingScheme.parse(scheme), bool(use_entropy))
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = _backends.make_weight_plan(self, key[0], key[1])
+            self._plans[key] = plan
+        return plan
+
+    def degree_vector(self):
         """Per-node blocking-graph degree, computed once and cached.
 
         One kernel sweep over all nodes; every later degree lookup — EJS's
-        ``degree_b`` per neighbour, the global edge count — is O(1).
-
-        The sweep runs on a private kernel, never the shared one: a caller
-        holding live :meth:`NeighbourhoodKernel.neighbours` results must not
-        have its scratch buffers clobbered by a lazy degree computation.
+        ``degree_b`` per neighbour, the global edge count — is O(1).  The
+        python backend sweeps a private kernel, so a caller holding live
+        :meth:`PythonKernel.neighbours` results never has its scratch buffers
+        clobbered; the numpy backend reads the cached whole-graph sweep.
         """
         if self._degrees is None:
-            kernel = NeighbourhoodKernel(self)
-            degrees = array("q", bytes(8 * self.num_nodes))
-            for node in range(self.num_nodes):
-                degrees[node] = len(kernel.neighbours(node))
-            self._degrees = degrees
+            self._degrees = self.kernel().degrees()
         return self._degrees
 
     def num_edges(self) -> int:
         """Number of distinct blocking-graph edges (from the degree vector)."""
         if self._num_edges is None:
-            self._num_edges = sum(self.degree_vector()) // 2
+            self._num_edges = int(sum(self.degree_vector())) // 2
         return self._num_edges
-
-
-class NeighbourhoodKernel:
-    """Materialise one node neighbourhood at a time into reusable buffers.
-
-    After :meth:`neighbours` returns, the per-neighbour aggregates sit in
-    ``common_blocks`` / ``arcs`` / ``entropy_sum`` indexed by dense node id;
-    they stay valid until the next :meth:`neighbours` call, which resets only
-    the previously touched entries.
-    """
-
-    __slots__ = ("_index", "common_blocks", "arcs", "entropy_sum", "_touched")
-
-    def __init__(self, index: CSRBlockIndex) -> None:
-        n = index.num_nodes
-        self._index = index
-        self.common_blocks = [0] * n
-        self.arcs = [0.0] * n
-        self.entropy_sum = [0.0] * n
-        self._touched: list[int] = []
-
-    def neighbours(self, node: int) -> list[int]:
-        """Fill the scratch buffers for ``node``; return its neighbour list.
-
-        Neighbours appear in first-touch order (ascending block id, member
-        order within a block) — the accumulation order is therefore identical
-        no matter which code path drives the kernel, keeping float sums
-        bit-for-bit reproducible.
-        """
-        index = self._index
-        common, arcs, entropy = self.common_blocks, self.arcs, self.entropy_sum
-        touched = self._touched
-        for previous in touched:
-            common[previous] = 0
-            arcs[previous] = 0.0
-            entropy[previous] = 0.0
-        del touched[:]
-
-        entries = index.node_block_entries
-        block_offsets = index.block_offsets
-        block_nodes = index.block_nodes
-        block_split = index.block_split
-        inv_cardinality = index.block_inv_cardinality
-        block_entropy = index.block_entropy
-        start = index.node_block_offsets[node]
-        end = index.node_block_offsets[node + 1]
-        for position in range(start, end):
-            entry = entries[position]
-            block = entry >> 1
-            split = block_split[block]
-            lo = block_offsets[block]
-            hi = block_offsets[block + 1]
-            if split >= 0:
-                # Clean-clean block: neighbours are the members of the other
-                # source; the entry's low bit says which side this node is on.
-                if entry & 1:
-                    hi = lo + split
-                else:
-                    lo = lo + split
-            inv = inv_cardinality[block]
-            block_ent = block_entropy[block]
-            for other in block_nodes[lo:hi]:
-                if other == node:
-                    continue
-                if common[other] == 0:
-                    touched.append(other)
-                common[other] += 1
-                arcs[other] += inv
-                entropy[other] += block_ent
-        return touched

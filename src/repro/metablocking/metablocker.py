@@ -4,6 +4,13 @@ entropy, prune, return candidate pairs.
 This is the reference implementation; :class:`repro.metablocking.parallel.
 ParallelMetaBlocker` produces exactly the same output using the broadcast-join
 structure SparkER runs on Spark.
+
+Both run on the pluggable kernel backend of the CSR index
+(:mod:`repro.metablocking.backends`).  Under the numpy backend the sequential
+path skips the dict-of-:class:`EdgeInfo` graph entirely: one vectorised kernel
+sweep produces the edge-weight table and the WEP/WNP/CEP/CNP retention runs as
+array expressions — with the same floats, the same tie-breaks and therefore
+the same retained edges as the interpreted path, to the last bit.
 """
 
 from __future__ import annotations
@@ -11,8 +18,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.blocking.block import BlockCollection
+from repro.metablocking import backends as _backends
 from repro.metablocking.entropy_weighting import apply_entropy_weights
-from repro.metablocking.graph import BlockingGraph, build_blocking_graph
+from repro.metablocking.graph import BlockingGraph, blocking_graph_from_index
+from repro.metablocking.index import CSRBlockIndex
 from repro.metablocking.pruning import PruningStrategy, make_pruning_strategy
 from repro.metablocking.weights import WeightingScheme, weight_all_edges
 
@@ -54,6 +63,9 @@ class MetaBlocker:
         When True the edge weights are multiplied by the mean entropy of the
         generating blocks before pruning (BLAST).  Has no effect if every
         block carries the default entropy of 1.0.
+    kernel_backend:
+        Kernel backend spec (``"auto"`` / ``"python"`` / ``"numpy"``;
+        ``None`` consults ``REPRO_KERNEL_BACKEND``).
     """
 
     def __init__(
@@ -62,15 +74,48 @@ class MetaBlocker:
         pruning: str | PruningStrategy = "wep",
         *,
         use_entropy: bool = False,
+        kernel_backend: str | None = None,
     ) -> None:
         self.weighting = WeightingScheme.parse(weighting)
         self.pruning = make_pruning_strategy(pruning)
         self.use_entropy = use_entropy
+        self.kernel_backend = kernel_backend
 
     def run(self, blocks: BlockCollection) -> MetaBlockingResult:
         """Run meta-blocking over ``blocks`` and return the candidate pairs."""
-        graph = build_blocking_graph(blocks)
+        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
+        if index.backend == "numpy":
+            result = self._run_vectorised(index)
+            if result is not None:
+                return result
+        graph = blocking_graph_from_index(
+            index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
+        )
         return self.run_on_graph(graph)
+
+    def _run_vectorised(self, index: CSRBlockIndex) -> "MetaBlockingResult | None":
+        """The numpy fast path: kernel weight table + array pruning.
+
+        Returns ``None`` for custom pruning strategies the vectorised
+        dispatch does not recognise — decided *before* the weight table is
+        built, so the fallback never pays for a discarded sweep; the caller
+        then runs the graph path (same output either way).
+        """
+        if index.num_nodes == 0:
+            return MetaBlockingResult()
+        if not _backends.supports_strategy(self.pruning):
+            return None
+        plan = index.weight_plan(self.weighting, self.use_entropy)
+        table = index.kernel().weight_table(plan)
+        retained = _backends.prune_edge_weights(self.pruning, table, index)
+        if retained is None:
+            return None
+        return MetaBlockingResult(
+            candidate_pairs=set(retained),
+            retained_edges=retained,
+            graph_edges=index.num_edges(),
+            graph_nodes=index.num_nodes,
+        )
 
     def run_on_graph(self, graph: BlockingGraph) -> MetaBlockingResult:
         """Run weighting + (entropy) + pruning over a prebuilt blocking graph."""

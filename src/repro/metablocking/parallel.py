@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 
 from repro.blocking.block import BlockCollection
 from repro.engine.context import EngineContext
+from repro.engine.executors import MultiprocessingExecutor
 from repro.exceptions import MetaBlockingError
 from repro.metablocking.graph import EdgeInfo
 from repro.metablocking.index import CSRBlockIndex
@@ -54,9 +55,11 @@ from repro.metablocking.pruning import (
     PruningStrategy,
     WeightedEdgePruning,
     WeightedNodePruning,
+    default_cep_k,
+    default_cnp_k,
     make_pruning_strategy,
 )
-from repro.metablocking.weights import WeightingScheme, compute_edge_weight
+from repro.metablocking.weights import WeightingScheme
 
 
 @dataclass
@@ -194,7 +197,10 @@ class _EdgeWeigher:
     broadcast kernel and emits only the edges whose *lower* endpoint is the
     node, so every edge is produced exactly once with no dedup shuffle.  EJS
     reads both endpoints' degrees and the global edge count from the
-    broadcast degree vector — no per-neighbour re-materialisation.
+    broadcast degree vector — no per-neighbour re-materialisation.  The
+    per-edge loop itself lives on the kernel
+    (:meth:`~repro.metablocking.backends.PythonKernel.weighted_edges`), so
+    there is exactly one scalar reference path for every driver.
     """
 
     __slots__ = ("broadcast", "scheme", "use_entropy")
@@ -205,52 +211,40 @@ class _EdgeWeigher:
         self.use_entropy = use_entropy
 
     def __call__(self, profile_id: int) -> list[tuple[tuple[int, int], float]]:
-        scheme = self.scheme
-        needs_degrees = scheme is WeightingScheme.EJS
         index: CSRBlockIndex = self.broadcast.value
         node = index.node_of[profile_id]
-        if needs_degrees:
-            # Resolve degrees before touching the shared kernel: a lazy
-            # degree computation sweeps every node and must not run while
-            # this node's neighbourhood sits in the scratch buffers.
-            degrees = index.degree_vector()
-            degree_node = degrees[node]
-            total_edges = index.num_edges()
-        kernel = index.kernel()
-        touched = kernel.neighbours(node)
+        # The plan resolves degrees (EJS) on a private sweep before the shared
+        # kernel materialises this node's neighbourhood; it is cached on the
+        # index, so the resolution happens once per process, not per node.
+        plan = index.weight_plan(self.scheme, self.use_entropy)
         node_ids = index.node_ids
-        block_counts = index.node_block_count
-        common, arcs, entropy = (
-            kernel.common_blocks,
-            kernel.arcs,
-            kernel.entropy_sum,
-        )
-        total_blocks = index.total_blocks
-        blocks_node = block_counts[node]
-        use_entropy = self.use_entropy
-        results: list[tuple[tuple[int, int], float]] = []
-        for other in touched:
-            if other <= node:
-                continue
-            info = EdgeInfo(
-                common_blocks=common[other],
-                arcs=arcs[other],
-                entropy_sum=entropy[other],
-            )
-            weight = compute_edge_weight(
-                scheme,
-                info,
-                blocks_a=blocks_node,
-                blocks_b=block_counts[other],
-                total_blocks=total_blocks,
-                degree_a=degree_node if needs_degrees else 0,
-                degree_b=degrees[other] if needs_degrees else 0,
-                total_edges=total_edges if needs_degrees else 0,
-            )
-            if use_entropy:
-                weight *= info.mean_entropy
-            results.append(((profile_id, node_ids[other]), weight))
-        return results
+        return [
+            ((profile_id, node_ids[other]), weight)
+            for other, weight in index.kernel().weighted_edges(node, plan)
+        ]
+
+
+class _PartitionEdgeWeigher:
+    """partition of nodes → the same ``((a, b), weight)`` records, batched.
+
+    The numpy-backend counterpart of :class:`_EdgeWeigher`: one vectorised
+    kernel sweep per partition instead of one interpreted loop per node.  The
+    emitted record stream — content *and* order — is identical, so the
+    collected weight map (and every float sum derived from its insertion
+    order) is bit-for-bit the same.
+    """
+
+    __slots__ = ("broadcast", "scheme", "use_entropy")
+
+    def __init__(self, broadcast, scheme: WeightingScheme, use_entropy: bool) -> None:
+        self.broadcast = broadcast
+        self.scheme = scheme
+        self.use_entropy = use_entropy
+
+    def __call__(self, profile_ids) -> list[tuple[tuple[int, int], float]]:
+        index: CSRBlockIndex = self.broadcast.value
+        plan = index.weight_plan(self.scheme, self.use_entropy)
+        return index.kernel().partition_weighted_edges(list(profile_ids), plan)
 
 
 class _NodeDegree:
@@ -263,7 +257,9 @@ class _NodeDegree:
 
     def __call__(self, profile_id: int) -> int:
         index: CSRBlockIndex = self.broadcast.value
-        return index.degree_vector()[index.node_of[profile_id]]
+        # int() guards the shared-memory case where the vector is an ndarray:
+        # task outputs must stay plain python scalars on the wire.
+        return int(index.degree_vector()[index.node_of[profile_id]])
 
 
 class _WeightedNodeVotes:
@@ -335,41 +331,57 @@ class ParallelMetaBlocker:
         pruning: str | PruningStrategy = "wnp",
         *,
         use_entropy: bool = False,
+        kernel_backend: str | None = None,
     ) -> None:
         self.context = context
         self.weighting = WeightingScheme.parse(weighting)
         self.pruning = make_pruning_strategy(pruning)
         self.use_entropy = use_entropy
+        self.kernel_backend = kernel_backend
 
     # ------------------------------------------------------------------ public
     def run(self, blocks: BlockCollection) -> MetaBlockingResult:
         """Run the parallel meta-blocking over ``blocks``."""
-        index = CSRBlockIndex.from_blocks(blocks)
+        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
         if index.num_nodes == 0:
             return MetaBlockingResult()
         # Materialise the degree vector driver-side so the broadcast ships the
         # index with degrees precomputed (one kernel sweep, reused everywhere).
         index.degree_vector()
+        if index.backend == "numpy" and isinstance(
+            self.context.executor, MultiprocessingExecutor
+        ):
+            # Ship the ndarray buffers through one shared-memory segment: the
+            # broadcast pickle then carries only the segment reference, and
+            # every pool worker maps the index instead of deserialising a
+            # copy.  The broadcast (and its segment) is run-scoped, so the
+            # segment is unlinked when this run finishes — with
+            # EngineContext.stop() and index garbage collection as backstops
+            # for aborted runs.
+            index.export_shared()
         broadcast = self.context.broadcast(index)
         node_ids = list(index.node_ids)
 
         node_rdd = self.context.parallelize(node_ids)
 
-        if isinstance(self.pruning, WeightedEdgePruning):
-            retained = self._run_weighted_edge(node_rdd, broadcast)
-        elif isinstance(self.pruning, CardinalityEdgePruning):
-            retained = self._run_cardinality_edge(node_rdd, broadcast)
-        elif isinstance(self.pruning, CardinalityNodePruning):
-            retained = self._run_node_cardinality(node_rdd, broadcast, self.pruning)
-        elif isinstance(self.pruning, WeightedNodePruning):
-            retained = self._run_node_weighted(node_rdd, broadcast, self.pruning)
-        else:
-            raise MetaBlockingError(
-                f"unsupported pruning strategy for the parallel meta-blocker: "
-                f"{type(self.pruning).__name__}"
-            )
+        try:
+            if isinstance(self.pruning, WeightedEdgePruning):
+                retained = self._run_weighted_edge(node_rdd, broadcast)
+            elif isinstance(self.pruning, CardinalityEdgePruning):
+                retained = self._run_cardinality_edge(node_rdd, broadcast)
+            elif isinstance(self.pruning, CardinalityNodePruning):
+                retained = self._run_node_cardinality(node_rdd, broadcast, self.pruning)
+            elif isinstance(self.pruning, WeightedNodePruning):
+                retained = self._run_node_weighted(node_rdd, broadcast, self.pruning)
+            else:
+                raise MetaBlockingError(
+                    f"unsupported pruning strategy for the parallel meta-blocker: "
+                    f"{type(self.pruning).__name__}"
+                )
 
-        num_edges = self._count_edges(node_rdd, broadcast)
+            num_edges = self._count_edges(node_rdd, broadcast)
+        finally:
+            index.release_shared()
         return MetaBlockingResult(
             candidate_pairs=set(retained),
             retained_edges=retained,
@@ -392,7 +404,16 @@ class ParallelMetaBlocker:
         the same insertion order the sequential graph builder produces — so
         every downstream float sum (WEP's global mean, WNP's per-node means)
         is bit-for-bit identical to the sequential path.
+
+        Under the numpy backend the per-node task is replaced by a
+        per-partition task (one vectorised sweep per partition); the record
+        stream, and with it the collected map, is identical.
         """
+        # Peek at the private value: a driver-side .value read would inflate
+        # the broadcast access metrics without being a real task-side read.
+        if broadcast._value.backend == "numpy":
+            weigh = _PartitionEdgeWeigher(broadcast, self.weighting, self.use_entropy)
+            return node_rdd.mapPartitions(weigh, name="metablocking.weights").collectAsMap()
         weigh = self._edge_weigher(broadcast)
         return node_rdd.flatMap(weigh, name="metablocking.weights").collectAsMap()
 
@@ -416,8 +437,7 @@ class ParallelMetaBlocker:
         k = pruning.k
         if k is None:
             index: CSRBlockIndex = broadcast.value
-            total_assignments = sum(index.node_block_count)
-            k = max(1, total_assignments // 2)
+            k = default_cep_k(int(sum(index.node_block_count)))
         ranked = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
         return dict(ranked[:k])
 
@@ -465,9 +485,7 @@ class ParallelMetaBlocker:
         index: CSRBlockIndex = broadcast.value
         k = pruning.k
         if k is None:
-            num_profiles = max(1, index.num_nodes)
-            total_assignments = sum(index.node_block_count)
-            k = max(1, total_assignments // num_profiles - 1)
+            k = default_cnp_k(int(sum(index.node_block_count)), index.num_nodes)
         edge_list, incidence = edge_id_incidence(weights)
         incidence_broadcast = self.context.broadcast(incidence)
         votes = (
@@ -487,19 +505,29 @@ def make_meta_blocker(
     weighting: "str | WeightingScheme" = WeightingScheme.CBS,
     pruning: "str | PruningStrategy" = "wep",
     use_entropy: bool = False,
+    kernel_backend: "str | None" = None,
 ) -> "ParallelMetaBlocker | MetaBlocker":
     """Build the meta-blocker matching the execution substrate.
 
     The broadcast-join :class:`ParallelMetaBlocker` when an engine context is
     given, the sequential reference :class:`~repro.metablocking.metablocker.
-    MetaBlocker` otherwise — the two are bit-for-bit equivalent.  Shared by
-    the legacy :class:`repro.core.blocker.Blocker` and the pipeline stage
-    adapter.
+    MetaBlocker` otherwise — the two are bit-for-bit equivalent, on either
+    kernel backend.  Shared by the legacy :class:`repro.core.blocker.Blocker`
+    and the pipeline stage adapter.
     """
     from repro.metablocking.metablocker import MetaBlocker
 
     if engine is not None:
         return ParallelMetaBlocker(
-            engine, weighting=weighting, pruning=pruning, use_entropy=use_entropy
+            engine,
+            weighting=weighting,
+            pruning=pruning,
+            use_entropy=use_entropy,
+            kernel_backend=kernel_backend,
         )
-    return MetaBlocker(weighting=weighting, pruning=pruning, use_entropy=use_entropy)
+    return MetaBlocker(
+        weighting=weighting,
+        pruning=pruning,
+        use_entropy=use_entropy,
+        kernel_backend=kernel_backend,
+    )

@@ -14,13 +14,16 @@ the meta-blocking graph of this package:
   of their neighbourhood and emit, for each node in turn, its best unseen
   neighbours first (a simplified Progressive Profile Scheduling).
 
-Both run on the CSR :class:`~repro.metablocking.index.NeighbourhoodKernel`
-directly — one scratch-buffer sweep materialising each node's neighbourhood
+Both run on the CSR index's kernel backend directly (the interpreted
+:class:`~repro.metablocking.backends.PythonKernel` or the vectorised
+:class:`~repro.metablocking.backends.NumpyKernel`, selected via
+``kernel_backend=``) — one sweep materialising each node's neighbourhood
 exactly once, every edge weighted from its lower endpoint — instead of
 materialising a full :class:`~repro.metablocking.graph.BlockingGraph` and
-re-deriving node statistics from it.  The kernel's accumulation order is the
-graph builder's, so the weights (and therefore the rankings) are bit-for-bit
-identical to the graph-based implementation they replace.
+re-deriving node statistics from it.  Every kernel fixes the same
+accumulation order as the graph builder, so the weights (and therefore the
+rankings) are bit-for-bit identical to the graph-based implementation they
+replace, whichever backend runs the sweep.
 
 ``stream()`` is genuinely lazy: global sorting merges per-node runs through a
 heap (:func:`heapq.merge`), so consuming the first *k* comparisons never pays
@@ -37,9 +40,8 @@ import heapq
 from collections.abc import Iterator
 
 from repro.blocking.block import BlockCollection
-from repro.metablocking.graph import EdgeInfo
 from repro.metablocking.index import CSRBlockIndex
-from repro.metablocking.weights import WeightingScheme, compute_edge_weight
+from repro.metablocking.weights import WeightingScheme
 
 _Edge = tuple[tuple[int, int], float]
 
@@ -56,46 +58,11 @@ def _weighted_edges_by_node(
 
     Every edge appears exactly once, in the node-major first-touch order the
     graph builder uses — weights accumulate in the same order and come out
-    float-identical to ``weight_all_edges(build_blocking_graph(blocks))``.
+    float-identical to ``weight_all_edges(build_blocking_graph(blocks))``,
+    whichever kernel backend drives the sweep.
     """
-    needs_degrees = scheme is WeightingScheme.EJS
-    if needs_degrees:
-        # Resolve degrees before touching the shared kernel: the lazy degree
-        # sweep must not clobber a neighbourhood sitting in its buffers.
-        degrees = index.degree_vector()
-        total_edges = index.num_edges()
-    kernel = index.kernel()
-    node_ids = index.node_ids
-    block_counts = index.node_block_count
-    total_blocks = index.total_blocks
-    per_node: list[list[_Edge]] = []
-    for node in range(index.num_nodes):
-        touched = kernel.neighbours(node)
-        common, arcs, entropy = kernel.common_blocks, kernel.arcs, kernel.entropy_sum
-        blocks_node = block_counts[node]
-        profile_a = node_ids[node]
-        edges: list[_Edge] = []
-        for other in touched:
-            if other <= node:
-                continue
-            info = EdgeInfo(
-                common_blocks=common[other],
-                arcs=arcs[other],
-                entropy_sum=entropy[other],
-            )
-            weight = compute_edge_weight(
-                scheme,
-                info,
-                blocks_a=blocks_node,
-                blocks_b=block_counts[other],
-                total_blocks=total_blocks,
-                degree_a=degrees[node] if needs_degrees else 0,
-                degree_b=degrees[other] if needs_degrees else 0,
-                total_edges=total_edges if needs_degrees else 0,
-            )
-            edges.append(((profile_a, node_ids[other]), weight))
-        per_node.append(edges)
-    return per_node
+    plan = index.weight_plan(scheme, use_entropy=False)
+    return index.kernel().weighted_edges_by_node(plan)
 
 
 class ProgressiveSortedComparisons:
@@ -107,8 +74,14 @@ class ProgressiveSortedComparisons:
         Edge weighting scheme used to rank the comparisons.
     """
 
-    def __init__(self, weighting: str | WeightingScheme = WeightingScheme.CBS) -> None:
+    def __init__(
+        self,
+        weighting: str | WeightingScheme = WeightingScheme.CBS,
+        *,
+        kernel_backend: str | None = None,
+    ) -> None:
         self.weighting = WeightingScheme.parse(weighting)
+        self.kernel_backend = kernel_backend
 
     def rank(self, blocks: BlockCollection) -> list[tuple[int, int]]:
         """Return every distinct comparison, best first."""
@@ -121,7 +94,7 @@ class ProgressiveSortedComparisons:
         runs are merged through a heap, so pulling the best *k* comparisons
         costs O(k log n) pops after the weighting sweep — no global sort.
         """
-        index = CSRBlockIndex.from_blocks(blocks)
+        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
         runs = [
             sorted(edges, key=_edge_rank)
             for edges in _weighted_edges_by_node(index, self.weighting)
@@ -134,8 +107,14 @@ class ProgressiveSortedComparisons:
 class ProgressiveNodeScheduling:
     """Emit comparisons node by node, best nodes and best neighbours first."""
 
-    def __init__(self, weighting: str | WeightingScheme = WeightingScheme.CBS) -> None:
+    def __init__(
+        self,
+        weighting: str | WeightingScheme = WeightingScheme.CBS,
+        *,
+        kernel_backend: str | None = None,
+    ) -> None:
         self.weighting = WeightingScheme.parse(weighting)
+        self.kernel_backend = kernel_backend
 
     def rank(self, blocks: BlockCollection) -> list[tuple[int, int]]:
         """Return every distinct comparison following the node schedule."""
@@ -143,7 +122,7 @@ class ProgressiveNodeScheduling:
 
     def stream(self, blocks: BlockCollection) -> Iterator[tuple[int, int]]:
         """Iterate the scheduled comparisons lazily, one node at a time."""
-        index = CSRBlockIndex.from_blocks(blocks)
+        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
         per_node = _weighted_edges_by_node(index, self.weighting)
 
         # Per-node incident edges, built in edge-emission order (the order the

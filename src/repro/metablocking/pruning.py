@@ -29,6 +29,21 @@ from repro.exceptions import MetaBlockingError
 from repro.metablocking.graph import BlockingGraph
 
 
+def default_cep_k(total_assignments: int) -> int:
+    """CEP's default K: half the total block assignments (Papadakis et al.).
+
+    The single definition shared by the scalar strategy, the parallel driver
+    and the vectorised backend fast path — the three must retain the same
+    edge set, so the formula must not fork.
+    """
+    return max(1, total_assignments // 2)
+
+
+def default_cnp_k(total_assignments: int, num_profiles: int) -> int:
+    """CNP's default per-node k: blocks-per-profile minus one (same sharing)."""
+    return max(1, math.floor(total_assignments / max(1, num_profiles)) - 1)
+
+
 class PruningStrategy(ABC):
     """Base class of pruning strategies."""
 
@@ -94,8 +109,7 @@ class CardinalityEdgePruning(PruningStrategy):
             return {}
         k = self.k
         if k is None:
-            total_assignments = sum(graph.blocks_per_profile.values())
-            k = max(1, total_assignments // 2)
+            k = default_cep_k(sum(graph.blocks_per_profile.values()))
         ranked = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
         return dict(ranked[:k])
 
@@ -165,9 +179,9 @@ class CardinalityNodePruning(PruningStrategy):
             return {}
         k = self.k
         if k is None:
-            num_profiles = max(1, graph.num_nodes)
-            total_assignments = sum(graph.blocks_per_profile.values())
-            k = max(1, math.floor(total_assignments / num_profiles) - 1)
+            k = default_cnp_k(
+                sum(graph.blocks_per_profile.values()), graph.num_nodes
+            )
 
         incidence = self._node_incidence(weights)
         kept_by_node: dict[int, set[tuple[int, int]]] = {}

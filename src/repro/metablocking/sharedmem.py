@@ -1,0 +1,247 @@
+"""Shared-memory transport for the CSR index's numeric buffers.
+
+Under a process executor the broadcast CSR index used to travel *inside* the
+pickled stage chain: every worker deserialised a multi-MB copy of the offset
+arrays per stage.  With the numpy kernel backend the buffers are plain
+``int64`` / ``float64`` blocks, so the driver can instead copy them once into
+one :class:`multiprocessing.shared_memory.SharedMemory` segment and ship only
+the segment *name* plus a field layout.  Workers attach and wrap each field
+as a zero-copy ``np.frombuffer`` view — the index is mapped once per machine,
+not pickled per worker, which is also the groundwork for the shared-memory
+shuffle block store on the roadmap.
+
+Lifecycle
+---------
+* the driver exports (``create=True``) and owns the segment; it unlinks it in
+  :meth:`SharedIndexBuffers.release` — wired to ``EngineContext.stop()``
+  through the index's ``release_shared`` hook — and a ``weakref.finalize``
+  backstop unlinks on garbage collection / interpreter exit, so no
+  ``/dev/shm`` segment outlives the run;
+* workers attach (``create=False``) and only ever close their mapping; the
+  pool workers share the driver's ``resource_tracker`` (inherited through
+  fork, or handed over by the spawn machinery), so the duplicate attach-side
+  registration dedups in the tracker's name set and the driver's single
+  unlink leaves the tracker clean.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import weakref
+from typing import Any
+
+from repro.exceptions import MetaBlockingError
+
+SEGMENT_PREFIX = "repro-csr"
+
+_segment_ids = itertools.count()
+
+_ITEM_SIZE = 8  # both int64 ('q') and float64 ('d') fields
+
+# How many non-owned attachments (beyond the one being attached) a worker
+# keeps mapped; older ones are evicted so a long-lived pool serving many
+# meta-blocking runs never accumulates mappings.
+_KEEP_RECENT_ATTACHMENTS = 2
+
+# Attachment cache, one entry per segment name.  Worker processes serve many
+# stages; re-attaching (and re-mmapping) per stage would churn, and letting
+# an attachment be garbage collected while zero-copy ndarray views are still
+# alive makes ``SharedMemory.__del__`` raise ``BufferError: cannot close
+# exported pointers exist``.  Cached handles live until explicit
+# :meth:`SharedIndexBuffers.release`, eviction by a newer attachment (see
+# ``_KEEP_RECENT_ATTACHMENTS``), or process exit.
+_handles: dict[str, "SharedIndexBuffers"] = {}
+
+
+def _attach_untracked(name: str):
+    """Attach to a segment without registering it with the resource tracker.
+
+    Only the exporting driver owns (and unlinks) a segment.  An attaching
+    pool worker that was forked *before* the driver's resource tracker
+    started would otherwise spawn its own tracker, record the name there,
+    and warn about a "leaked" segment at exit — after the driver has long
+    unlinked it.  Python 3.13 exposes this as ``track=False``; on earlier
+    versions the registration hook is stubbed out for the duration of the
+    attach (workers are single-threaded per task, so this is race-free).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original
+
+
+def _quiet_close(shm) -> None:
+    """Close ``shm`` without tripping over live zero-copy views.
+
+    ``SharedMemory.close()`` raises ``BufferError`` while ndarray views built
+    over ``shm.buf`` are alive.  Instead, drop the handle's references and
+    close the file descriptor: the memoryview/mmap pair stays referenced by
+    the views and is unmapped when the last view dies, and the defused
+    ``SharedMemory.__del__`` no-ops instead of spraying ignored exceptions.
+    """
+    try:
+        shm.close()
+        return
+    except BufferError:
+        pass
+    shm._buf = None
+    shm._mmap = None
+    fd = getattr(shm, "_fd", -1)
+    if fd >= 0:
+        try:
+            os.close(fd)
+        except OSError:  # pragma: no cover - already closed
+            pass
+        shm._fd = -1
+
+
+def _release_segment(shm, owner: bool) -> None:
+    """Finalizer body: close the mapping, unlink once if we created it."""
+    _handles.pop(shm.name, None)
+    _quiet_close(shm)
+    if owner:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+
+class SharedIndexBuffers:
+    """One shared-memory segment holding a set of named numeric fields.
+
+    ``layout`` maps field name → ``(offset_items, length_items, typecode)``
+    with typecode ``"q"`` (int64) or ``"d"`` (float64); it is tiny and rides
+    in the pickle next to the segment name.
+    """
+
+    def __init__(self, shm, layout: dict[str, tuple[int, int, str]], owner: bool) -> None:
+        self.shm = shm
+        self.layout = layout
+        self.owner = owner
+        self.name = shm.name
+        self._released = False
+        self._finalizer = weakref.finalize(self, _release_segment, shm, owner)
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def export(cls, fields: dict[str, tuple[Any, str]]) -> "SharedIndexBuffers":
+        """Copy ``fields`` (name → (buffer, typecode)) into a fresh segment."""
+        from multiprocessing import shared_memory
+
+        import numpy as np
+
+        layout: dict[str, tuple[int, int, str]] = {}
+        offset = 0
+        for field, (buffer, typecode) in fields.items():
+            length = len(buffer)
+            layout[field] = (offset, length, typecode)
+            offset += length
+        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_ids)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, offset * _ITEM_SIZE)
+        )
+        for field, (buffer, typecode) in fields.items():
+            start, length, _ = layout[field]
+            if not length:
+                continue
+            view = np.frombuffer(
+                shm.buf,
+                dtype=np.int64 if typecode == "q" else np.float64,
+                count=length,
+                offset=start * _ITEM_SIZE,
+            )
+            view[:] = np.frombuffer(buffer, dtype=view.dtype)
+            del view  # keep the export handle closable
+        # Owner handles are deliberately NOT put in the attachment cache: a
+        # cached strong reference would keep an abandoned export alive and
+        # defeat the garbage-collection unlink backstop.  A same-process
+        # attach of an owned segment simply maps it a second time.
+        return cls(shm, layout, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, layout: dict[str, tuple[int, int, str]]) -> "SharedIndexBuffers":
+        """Attach to an exported segment (cached for the process lifetime)."""
+        cached = _handles.get(name)
+        if cached is not None and not cached.released:
+            return cached
+        try:
+            shm = _attach_untracked(name)
+        except FileNotFoundError as error:
+            raise MetaBlockingError(
+                f"shared CSR index segment {name!r} is gone — was the owning "
+                f"EngineContext stopped while tasks were still running?"
+            ) from error
+        # A long-lived pool worker sees one fresh segment per meta-blocking
+        # run; evict earlier attachments so the cache never pins more than a
+        # handful of mappings.  Evicted handles only drop *this* reference —
+        # views handed out earlier keep their mmap alive until they die, and
+        # a same-name re-attach simply maps again.
+        stale = [
+            key
+            for key, handle in _handles.items()
+            if not handle.owner and key != name
+        ]
+        for key in stale[:-_KEEP_RECENT_ATTACHMENTS]:
+            _handles.pop(key).release()
+        handle = cls(shm, layout, owner=False)
+        _handles[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------ views
+    def view(self, field: str):
+        """Zero-copy ndarray view of one field."""
+        import numpy as np
+
+        start, length, typecode = self.layout[field]
+        return np.frombuffer(
+            self.shm.buf,
+            dtype=np.int64 if typecode == "q" else np.float64,
+            count=length,
+            offset=start * _ITEM_SIZE,
+        )
+
+    def views(self) -> dict[str, Any]:
+        """Zero-copy views of every field."""
+        return {field: self.view(field) for field in self.layout}
+
+    # -------------------------------------------------------------- lifecycle
+    def release(self) -> None:
+        """Close the mapping now (and unlink the segment when owning it)."""
+        if not self._released:
+            self._released = True
+            self._finalizer()
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "attached"
+        state = "released" if self._released else "live"
+        return f"SharedIndexBuffers(name={self.name!r}, {role}, {state})"
+
+
+def live_segments() -> list[str]:
+    """Names of this process's exported segments still present in /dev/shm.
+
+    Test helper for the no-leak guarantee; returns an empty list on platforms
+    without a /dev/shm view of POSIX shared memory.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX platforms
+        return []
+    prefix = f"{SEGMENT_PREFIX}-{os.getpid()}-"
+    return sorted(
+        entry for entry in os.listdir(shm_dir) if entry.startswith(prefix)
+    )

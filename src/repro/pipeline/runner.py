@@ -50,6 +50,19 @@ _SPEC_ENTRY_KEYS = {"stage", "label", "params", "inputs", "outputs"}
 _SPEC_TOP_KEYS = {"name", "engine", "seeds", "stages", "dataset"}
 
 
+def _executed_kernel_backend(executions: "list[StageExecution]") -> str | None:
+    """The backend a meta-blocking stage of this run actually resolved to.
+
+    ``None`` when no stage recorded one — a pipeline without meta-blocking
+    must not claim a kernel backend in its summary.
+    """
+    for execution in executions:
+        backend = (getattr(execution, "detail", None) or {}).get("kernel_backend")
+        if backend is not None:
+            return str(backend)
+    return None
+
+
 def _engine_snapshot(engine: EngineContext | None) -> dict[str, int]:
     if engine is None:
         return {}
@@ -89,10 +102,19 @@ class PipelineContext:
     extras: dict[str, Any] = field(default_factory=dict)
     report: PipelineReport = field(default_factory=PipelineReport)
     max_comparisons: int = 0
+    # The engine section's kernel backend spec (auto/python/numpy or None);
+    # the meta-blocking stages resolve it per run.
+    kernel_backend: str | None = None
+    _stage_details: dict[str, dict[str, object]] = field(default_factory=dict)
 
     def record(self, stage: str, metrics: dict[str, object]) -> None:
         """Record the metric snapshot of one stage into the unified report."""
         self.report.add(stage, metrics)
+
+    def annotate(self, stage: str, **details: object) -> None:
+        """Attach execution details (e.g. the resolved kernel backend) to a
+        stage; the runner surfaces them in the per-stage executions table."""
+        self._stage_details.setdefault(stage, {}).update(details)
 
 
 @dataclass
@@ -108,6 +130,7 @@ class PipelineResult:
     spec: dict[str, object] = field(default_factory=dict)
     completed: list[str] = field(default_factory=list)
     partial: bool = False
+    kernel_backend: str | None = None
 
     # ------------------------------------------------------- common artifacts
     @property
@@ -128,8 +151,22 @@ class PipelineResult:
 
     # ----------------------------------------------------------------- report
     def stage_rows(self) -> list[dict[str, object]]:
-        """Uniform per-stage rows: status, seconds, engine counter deltas."""
-        return [execution.as_row() for execution in self.executions]
+        """Uniform per-stage rows: status, seconds, engine counter deltas.
+
+        Detail columns (e.g. a meta-blocking stage's resolved kernel backend)
+        are backfilled as empty cells on the other rows so the table renderer
+        — which takes its columns from the first row — keeps them visible.
+        """
+        rows = [execution.as_row() for execution in self.executions]
+        detail_keys: list[str] = []
+        for execution in self.executions:
+            for key in getattr(execution, "detail", None) or {}:
+                if key not in detail_keys:
+                    detail_keys.append(key)
+        for row in rows:
+            for key in detail_keys:
+                row.setdefault(key, "")
+        return rows
 
     def summary(self) -> dict[str, object]:
         """Headline numbers of the run, engine metrics included."""
@@ -146,6 +183,8 @@ class PipelineResult:
                 summary[key] = len(value)  # type: ignore[arg-type]
             except TypeError:
                 pass
+        if self.kernel_backend is not None:
+            summary["kernel_backend"] = self.kernel_backend
         if self.engine_metrics:
             summary["engine"] = dict(self.engine_metrics)
         return summary
@@ -177,6 +216,7 @@ class Pipeline:
         name: str = "pipeline",
         seeds: Mapping[str, str] | None = None,
         engine_spec: Mapping[str, object] | None = None,
+        kernel_backend: str | None = None,
     ) -> None:
         self.stages = list(stages)
         if not self.stages:
@@ -188,6 +228,7 @@ class Pipeline:
             self.seeds.update(seeds)
         self._owns_engine = False
         self._engine_spec = dict(engine_spec) if engine_spec else None
+        self.kernel_backend = kernel_backend
         self.validate()
 
     # ------------------------------------------------------------- composition
@@ -302,12 +343,18 @@ class Pipeline:
         else:
             engine_context = None
 
+        kernel_backend = engine_section.get("kernel_backend")
+        if kernel_backend is not None and not isinstance(kernel_backend, str):
+            raise PipelineValidationError(
+                f"engine.kernel_backend must be a string, got {kernel_backend!r}"
+            )
         pipeline = cls(
             stages,
             engine=engine_context,  # type: ignore[arg-type]
             name=str(spec.get("name", "pipeline")),
             seeds=dict(spec.get("seeds") or {}),
             engine_spec=engine_section or None,
+            kernel_backend=kernel_backend,
         )
         pipeline._owns_engine = owns_engine
         return pipeline
@@ -326,6 +373,8 @@ class Pipeline:
             if self.engine is not None:
                 engine_section["parallelism"] = self.engine.default_parallelism
                 engine_section["executor"] = self.engine.executor.name
+            if self.kernel_backend is not None:
+                engine_section["kernel_backend"] = self.kernel_backend
         spec: dict[str, object] = {
             "name": self.name,
             "engine": engine_section,
@@ -471,6 +520,7 @@ class Pipeline:
             extras=extras_dict,
             report=report,
             max_comparisons=profiles.max_comparisons(),
+            kernel_backend=self.kernel_backend,
         )
 
         stopped = False
@@ -507,6 +557,7 @@ class Pipeline:
                     params=stage.params(),
                     seconds=timer.elapsed,
                     engine=delta,
+                    detail=context._stage_details.pop(stage.label, {}),
                 )
             )
             timings.record(stage.label, timer.elapsed)
@@ -537,6 +588,7 @@ class Pipeline:
             spec=self.resolved_spec(),
             completed=[execution.label for execution in executions],
             partial=stopped,
+            kernel_backend=_executed_kernel_backend(executions),
         )
 
     def _checkpoint_state(self, **parts: Any) -> dict[str, Any]:

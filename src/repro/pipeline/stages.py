@@ -31,6 +31,7 @@ from repro.looseschema.attribute_partitioning import (
 )
 from repro.looseschema.entropy import EntropyExtractor
 from repro.looseschema.lsh import AttributeLSH
+from repro.metablocking.backends import resolve_backend_name
 from repro.metablocking.parallel import make_meta_blocker
 from repro.metablocking.progressive import (
     ProgressiveNodeScheduling,
@@ -220,8 +221,12 @@ class MetaBlockingStage(Stage):
             weighting=self.weighting,
             pruning=self.pruning,
             use_entropy=self.use_entropy,
+            kernel_backend=context.kernel_backend,
         )
         result = meta_blocker.run(blocks)
+        context.annotate(
+            self.label, kernel_backend=resolve_backend_name(context.kernel_backend)
+        )
         metrics: dict[str, object] = dict(result.as_dict())
         if context.ground_truth is not None:
             metrics.update(
@@ -286,9 +291,16 @@ class ProgressiveMetaBlockingStage(Stage):
 
     def run(self, context: "PipelineContext", *, blocks):
         if self.strategy == "global":
-            progressive = ProgressiveSortedComparisons(weighting=self.weighting)
+            progressive = ProgressiveSortedComparisons(
+                weighting=self.weighting, kernel_backend=context.kernel_backend
+            )
         else:
-            progressive = ProgressiveNodeScheduling(weighting=self.weighting)
+            progressive = ProgressiveNodeScheduling(
+                weighting=self.weighting, kernel_backend=context.kernel_backend
+            )
+        context.annotate(
+            self.label, kernel_backend=resolve_backend_name(context.kernel_backend)
+        )
         stream = progressive.stream(blocks)
         if self.budget is not None:
             stream = islice(stream, self.budget)

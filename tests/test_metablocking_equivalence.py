@@ -8,6 +8,12 @@ retained pairs with float-identical weights, for every weighting scheme ×
 pruning strategy × entropy setting, on dirty and clean-clean collections
 larger and messier than the fixture datasets (random skewed block sizes,
 random non-trivial entropies, overlapping blocks, invalid blocks mixed in).
+
+The same contract holds across *kernel backends*: the vectorised numpy
+kernel fixes its accumulation order to the interpreted kernel's, so the
+python × numpy axis of the grid asserts dict-identical retained edges —
+float weights included — for sequential, parallel serial / process and both
+progressive strategies.
 """
 
 from __future__ import annotations
@@ -19,12 +25,21 @@ import pytest
 from repro.blocking.block import Block, BlockCollection
 from repro.engine.context import EngineContext
 from repro.engine.executors import MultiprocessingExecutor
+from repro.metablocking.backends import numpy_available
 from repro.metablocking.metablocker import MetaBlocker
 from repro.metablocking.parallel import ParallelMetaBlocker
+from repro.metablocking.progressive import (
+    ProgressiveNodeScheduling,
+    ProgressiveSortedComparisons,
+)
 from repro.metablocking.pruning import CardinalityNodePruning
 
 WEIGHTINGS = ["cbs", "js", "arcs", "ecbs", "ejs"]
 PRUNINGS = ["wep", "cep", "wnp", "rwnp", "cnp", "rcnp"]
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="numpy backend requires numpy"
+)
 
 
 def _make_pruning(name: str):
@@ -175,6 +190,113 @@ class TestProcessExecutorGridEquivalence:
             use_entropy=True,
         ).run(clean_blocks)
         assert parallel.retained_edges == reference.retained_edges
+
+
+@needs_numpy
+class TestBackendGridEquivalence:
+    """python × numpy backend axis: bit-for-bit identical retained edges.
+
+    The reference is always the interpreted kernel (``kernel_backend=
+    "python"``); the numpy side runs the vectorised sweep, ufunc weighting
+    and array pruning.  Dict equality covers pairs *and* exact float
+    weights, so any accumulation-order drift in the vectorised path fails
+    here as a last-ulp mismatch.
+    """
+
+    @pytest.mark.parametrize("use_entropy", [False, True], ids=["plain", "entropy"])
+    @pytest.mark.parametrize("pruning", PRUNINGS)
+    @pytest.mark.parametrize("weighting", WEIGHTINGS)
+    def test_sequential_clean_clean(self, clean_blocks, weighting, pruning, use_entropy):
+        reference = MetaBlocker(
+            weighting, _make_pruning(pruning), use_entropy=use_entropy,
+            kernel_backend="python",
+        ).run(clean_blocks)
+        vectorised = MetaBlocker(
+            weighting, _make_pruning(pruning), use_entropy=use_entropy,
+            kernel_backend="numpy",
+        ).run(clean_blocks)
+        assert vectorised.retained_edges == reference.retained_edges
+        assert vectorised.candidate_pairs == reference.candidate_pairs
+        assert vectorised.graph_edges == reference.graph_edges
+        assert vectorised.graph_nodes == reference.graph_nodes
+
+    @pytest.mark.parametrize("use_entropy", [False, True], ids=["plain", "entropy"])
+    @pytest.mark.parametrize("pruning", PRUNINGS)
+    @pytest.mark.parametrize("weighting", WEIGHTINGS)
+    def test_sequential_dirty(self, dirty_blocks, weighting, pruning, use_entropy):
+        reference = MetaBlocker(
+            weighting, _make_pruning(pruning), use_entropy=use_entropy,
+            kernel_backend="python",
+        ).run(dirty_blocks)
+        vectorised = MetaBlocker(
+            weighting, _make_pruning(pruning), use_entropy=use_entropy,
+            kernel_backend="numpy",
+        ).run(dirty_blocks)
+        assert vectorised.retained_edges == reference.retained_edges
+
+    @pytest.mark.parametrize("pruning", PRUNINGS)
+    @pytest.mark.parametrize("weighting", WEIGHTINGS)
+    def test_parallel_serial_numpy_matches_python_reference(
+        self, clean_blocks, weighting, pruning
+    ):
+        reference = MetaBlocker(
+            weighting, _make_pruning(pruning), use_entropy=True,
+            kernel_backend="python",
+        ).run(clean_blocks)
+        parallel = ParallelMetaBlocker(
+            EngineContext(4),
+            weighting,
+            _make_pruning(pruning),
+            use_entropy=True,
+            kernel_backend="numpy",
+        ).run(clean_blocks)
+        assert parallel.retained_edges == reference.retained_edges
+
+    @pytest.mark.parametrize("pruning", ["wep", "cnp", "rwnp"])
+    @pytest.mark.parametrize("weighting", ["cbs", "ejs"])
+    def test_parallel_python_backend_on_numpy_machine(
+        self, clean_blocks, weighting, pruning
+    ):
+        # The reverse pin: an explicit python backend must stay available
+        # (and equivalent) even when numpy is importable.
+        reference = MetaBlocker(
+            weighting, _make_pruning(pruning), kernel_backend="python"
+        ).run(clean_blocks)
+        parallel = ParallelMetaBlocker(
+            EngineContext(4), weighting, _make_pruning(pruning),
+            kernel_backend="python",
+        ).run(clean_blocks)
+        assert parallel.retained_edges == reference.retained_edges
+
+    @pytest.mark.parametrize("pruning", PRUNINGS)
+    @pytest.mark.parametrize("weighting", ["cbs", "ejs"])
+    def test_parallel_process_numpy_matches_python_reference(
+        self, dirty_blocks, process_executor, weighting, pruning
+    ):
+        # Process workers attach the shared-memory index; the retained
+        # edges must still equal the interpreted single-process reference.
+        reference = MetaBlocker(
+            weighting, _make_pruning(pruning), kernel_backend="python"
+        ).run(dirty_blocks)
+        parallel = ParallelMetaBlocker(
+            EngineContext(4, executor=process_executor),
+            weighting,
+            _make_pruning(pruning),
+            kernel_backend="numpy",
+        ).run(dirty_blocks)
+        assert parallel.retained_edges == reference.retained_edges
+
+    @pytest.mark.parametrize("strategy", ["global", "node"])
+    @pytest.mark.parametrize("weighting", WEIGHTINGS)
+    def test_progressive_rankings_identical(self, clean_blocks, strategy, weighting):
+        cls = (
+            ProgressiveSortedComparisons
+            if strategy == "global"
+            else ProgressiveNodeScheduling
+        )
+        python_ranking = cls(weighting, kernel_backend="python").rank(clean_blocks)
+        numpy_ranking = cls(weighting, kernel_backend="numpy").rank(clean_blocks)
+        assert numpy_ranking == python_ranking
 
 
 def _shuffle_rows(context):

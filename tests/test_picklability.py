@@ -30,11 +30,13 @@ from repro.engine.shuffle import (
     ShuffleMapTask,
     ZeroSeededCombiner,
 )
+from repro.metablocking.backends import numpy_available
 from repro.metablocking.index import CSRBlockIndex
 from repro.metablocking.parallel import (
     _CardinalityNodeVotes,
     _EdgeWeigher,
     _NodeDegree,
+    _PartitionEdgeWeigher,
     _WeightedNodeVotes,
 )
 from repro.metablocking.weights import WeightingScheme
@@ -239,6 +241,21 @@ class TestCSRIndexPickling:
         assert clone.degree_vector() == index.degree_vector()
         assert clone.num_edges() == index.num_edges()
 
+    def test_cached_degrees_ship_instead_of_being_recomputed(self):
+        # The broadcast index must carry its one-pass degree sweep (and the
+        # per-block stat vectors) to the workers: a clone arrives with the
+        # caches already populated, no re-scan per process.
+        index = CSRBlockIndex.from_blocks(_small_blocks())
+        index.degree_vector()
+        index.num_edges()
+        clone = _roundtrip(index)
+        assert clone._degrees is not None
+        assert clone._degrees == index._degrees
+        assert clone._num_edges == index._num_edges
+        assert clone.block_cardinality == index.block_cardinality
+        assert clone.block_inv_cardinality == index.block_inv_cardinality
+        assert clone.block_entropy == index.block_entropy
+
     def test_clone_kernel_materialises_identical_neighbourhoods(self):
         index = CSRBlockIndex.from_blocks(_small_blocks())
         clone = _roundtrip(index)
@@ -246,6 +263,117 @@ class TestCSRIndexPickling:
             original = sorted(index.kernel().neighbours(node))
             copied = sorted(clone.kernel().neighbours(node))
             assert copied == original
+
+    def test_backend_choice_survives_the_roundtrip(self):
+        index = CSRBlockIndex.from_blocks(_small_blocks(), backend="python")
+        assert _roundtrip(index).backend == "python"
+
+
+@pytest.mark.skipif(not numpy_available(), reason="numpy backend requires numpy")
+class TestNumpyIndexPickling:
+    def test_numpy_backend_roundtrip_matches_python_results(self):
+        index = CSRBlockIndex.from_blocks(_small_blocks(), backend="numpy")
+        index.degree_vector()
+        clone = _roundtrip(index)
+        assert clone.backend == "numpy"
+        assert clone.degree_vector() == index.degree_vector()
+        for node in range(index.num_nodes):
+            assert clone.kernel().neighbours(node) == index.kernel().neighbours(node)
+
+    def test_shared_memory_roundtrip_is_zero_copy_and_identical(self):
+        import numpy as np
+
+        index = CSRBlockIndex.from_blocks(_small_blocks(), backend="numpy")
+        reference = CSRBlockIndex.from_blocks(_small_blocks(), backend="python")
+        index.export_shared()
+        try:
+            payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+            # The buffers must not ride in the pickle: only the segment name
+            # and layout do, so the payload stays tiny.
+            assert len(payload) < 2048
+            clone = pickle.loads(payload)
+            assert isinstance(clone.block_nodes, np.ndarray)
+            assert clone.node_of == reference.node_of
+            assert list(clone.degree_vector()) == list(reference.degree_vector())
+            for node in range(reference.num_nodes):
+                assert (
+                    clone.kernel().neighbours(node)
+                    == reference.kernel().neighbours(node)
+                )
+        finally:
+            index.release_shared()
+
+    def test_release_unlinks_the_segment(self):
+        from repro.metablocking.sharedmem import live_segments
+
+        index = CSRBlockIndex.from_blocks(_small_blocks(), backend="numpy")
+        handle = index.export_shared()
+        assert handle.name in live_segments()
+        index.release_shared()
+        assert handle.name not in live_segments()
+        # After release the pickle falls back to shipping the full arrays.
+        clone = _roundtrip(index)
+        assert clone.node_ids == index.node_ids
+
+    def test_garbage_collected_export_unlinks_the_segment(self):
+        # The GC backstop: an exported index abandoned without
+        # release_shared() must not leak its /dev/shm segment.
+        import gc
+
+        from repro.metablocking.sharedmem import live_segments
+
+        index = CSRBlockIndex.from_blocks(_small_blocks(), backend="numpy")
+        name = index.export_shared().name
+        assert name in live_segments()
+        del index
+        gc.collect()
+        assert name not in live_segments()
+
+    def test_engine_context_stop_releases_broadcast_segments(self):
+        from repro.metablocking.sharedmem import live_segments
+
+        context = EngineContext(2)
+        index = CSRBlockIndex.from_blocks(_small_blocks(), backend="numpy")
+        index.export_shared()
+        context.broadcast(index)
+        assert live_segments()
+        context.stop()
+        assert live_segments() == []
+
+    def test_process_run_ships_via_shared_memory_and_leaves_no_segments(
+        self, monkeypatch
+    ):
+        from repro.blocking.filtering import BlockFiltering
+        from repro.blocking.purging import BlockPurging
+        from repro.blocking.token_blocking import TokenBlocking
+        from repro.data.synthetic import SyntheticConfig, generate_abt_buy_like
+        from repro.metablocking.metablocker import MetaBlocker
+        from repro.metablocking.parallel import ParallelMetaBlocker
+        from repro.metablocking.sharedmem import live_segments
+
+        exported: list[str] = []
+        original = CSRBlockIndex.export_shared
+
+        def spy(self):
+            handle = original(self)
+            exported.append(handle.name)
+            return handle
+
+        monkeypatch.setattr(CSRBlockIndex, "export_shared", spy)
+        dataset = generate_abt_buy_like(SyntheticConfig(num_entities=40, seed=7))
+        raw = TokenBlocking().block(dataset.profiles)
+        blocks = BlockFiltering().filter(BlockPurging().purge(raw, len(dataset.profiles)))
+        reference = MetaBlocker("cbs", "wnp", kernel_backend="python").run(blocks)
+        with EngineContext(4, executor="process:2") as context:
+            result = ParallelMetaBlocker(
+                context, "cbs", "wnp", kernel_backend="numpy"
+            ).run(blocks)
+            # Run-scoped lifecycle: the segment is already unlinked when the
+            # run returns, not merely at context shutdown.
+            assert live_segments() == []
+        assert exported, "process run did not ship the index via shared memory"
+        assert result.retained_edges == reference.retained_edges
+        assert live_segments() == []
 
 
 class TestMetaBlockingTaskFunctions:
@@ -258,6 +386,22 @@ class TestMetaBlockingTaskFunctions:
         clone = _roundtrip(weigher)
         for profile_id in index.node_ids:
             assert clone(profile_id) == weigher(profile_id)
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy backend requires numpy")
+    def test_partition_edge_weigher_roundtrip_matches_per_node_emission(self):
+        context = EngineContext(2)
+        index = CSRBlockIndex.from_blocks(_small_blocks(), backend="numpy")
+        index.degree_vector()
+        broadcast = context.broadcast(index)
+        weigher = _roundtrip(
+            _PartitionEdgeWeigher(broadcast, WeightingScheme.EJS, True)
+        )
+        python_index = CSRBlockIndex.from_blocks(_small_blocks(), backend="python")
+        python_broadcast = context.broadcast(python_index)
+        per_node = _EdgeWeigher(python_broadcast, WeightingScheme.EJS, True)
+        expected = [record for pid in index.node_ids for record in per_node(pid)]
+        assert weigher(list(index.node_ids)) == expected
+        assert weigher([]) == []
 
     def test_vote_functions_roundtrip(self):
         # Compact wire format: the incidence maps nodes to (edge id, weight)
