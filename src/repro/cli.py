@@ -168,6 +168,23 @@ def _executor_spec(args: argparse.Namespace) -> str | None:
     return executor
 
 
+def _fault_policy_spec(args: argparse.Namespace) -> str | None:
+    """Build the engine fault-policy spec from --task-retries / --task-timeout.
+
+    Only meaningful with the process executor (the serial executor has no
+    worker pool to recover); the spec rides in the engine section either way
+    so provenance round-trips.
+    """
+    parts = []
+    if getattr(args, "task_retries", None) is not None:
+        if args.task_retries < 0:
+            raise SparkERError("--task-retries must be >= 0")
+        parts.append(f"retries={args.task_retries}")
+    if getattr(args, "task_timeout", None) is not None:
+        parts.append(f"timeout={args.task_timeout:g}")
+    return ",".join(parts) or None
+
+
 def _dataset_section(args: argparse.Namespace) -> dict[str, object]:
     """The dataset provenance recorded by --output-config (spec round-trip)."""
     if args.synthetic:
@@ -221,6 +238,11 @@ def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
             engine_section = dict(spec.get("engine") or {})
             engine_section["kernel_backend"] = args.kernel_backend
             spec["engine"] = engine_section
+        fault_policy = _fault_policy_spec(args)
+        if fault_policy is not None:
+            engine_section = dict(spec.get("engine") or {})
+            engine_section["fault_policy"] = fault_policy
+            spec["engine"] = engine_section
         return spec
     config = _config_from_args(args)
     use_engine = args.engine or bool(args.executor) or args.workers is not None
@@ -229,6 +251,7 @@ def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
         use_engine=use_engine,
         executor=_executor_spec(args),
         kernel_backend=args.kernel_backend,
+        fault_policy=_fault_policy_spec(args),
     )
 
 
@@ -365,6 +388,14 @@ def build_parser() -> argparse.ArgumentParser:
                           "CSR kernel (bit-for-bit identical output), 'python' "
                           "forces the interpreted kernel, 'auto' (default) picks "
                           "numpy when importable")
+    run.add_argument("--task-retries", type=int, default=None, dest="task_retries",
+                     help="extra attempts per task before the fault policy is "
+                          "exhausted (process executor only; default 0 = fail "
+                          "fast, like REPRO_FAULT_POLICY unset)")
+    run.add_argument("--task-timeout", type=float, default=None, dest="task_timeout",
+                     help="per-task timeout in seconds; a hung worker is killed, "
+                          "the pool rebuilt and the task retried (process "
+                          "executor only)")
     run.add_argument("--spec", default=None,
                      help="run a declarative stage-graph spec (JSON file) instead of "
                           "the canonical SparkER wiring")

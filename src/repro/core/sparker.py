@@ -109,6 +109,13 @@ class SparkER:
         :class:`~repro.engine.executors.Executor` instance); only meaningful
         with ``use_engine=True``.  ``None`` consults the
         ``REPRO_ENGINE_EXECUTOR`` environment variable.
+    fault_policy:
+        Task recovery contract for the process executor (a
+        :class:`~repro.engine.faults.FaultPolicy`, spec string or dict, e.g.
+        ``"retries=2,timeout=30"``); ``None`` consults
+        ``REPRO_FAULT_POLICY``.  Only meaningful with an executor spec
+        string — pass the policy to the executor's constructor when
+        supplying an instance.
     partitioning:
         Optional user-supplied attribute partitioning (supervised mode).
     rules / labeled_pairs / matcher:
@@ -122,6 +129,7 @@ class SparkER:
         use_engine: bool = False,
         executor: object | None = None,
         kernel_backend: str | None = None,
+        fault_policy: object | None = None,
         partitioning: AttributePartitioning | None = None,
         rules: Sequence[MatchingRule] | None = None,
         labeled_pairs: Sequence[tuple[int, int, bool]] | None = None,
@@ -130,7 +138,11 @@ class SparkER:
         self.config = config or SparkERConfig.unsupervised_default()
         self.config.validate()
         self.engine = (
-            EngineContext(default_parallelism=self.config.parallelism, executor=executor)  # type: ignore[arg-type]
+            EngineContext(
+                default_parallelism=self.config.parallelism,
+                executor=executor,  # type: ignore[arg-type]
+                fault_policy=fault_policy,
+            )
             if use_engine
             else None
         )
@@ -142,6 +154,15 @@ class SparkER:
             self._executor_spec = self.engine.executor.name
         else:
             self._executor_spec = None
+        # Same provenance treatment for the fault policy: a resolved spec
+        # must rebuild the same recovery behaviour.
+        if isinstance(fault_policy, (str, dict)):
+            self._fault_policy_spec: "str | dict | None" = fault_policy
+        elif fault_policy is not None:
+            spec_of = getattr(fault_policy, "spec", None)
+            self._fault_policy_spec = spec_of() if callable(spec_of) else None
+        else:
+            self._fault_policy_spec = None
         self.kernel_backend = kernel_backend
         self.partitioning = partitioning
         self.rules = rules
@@ -157,6 +178,7 @@ class SparkER:
         use_engine: bool = False,
         executor: str | None = None,
         kernel_backend: str | None = None,
+        fault_policy: "str | dict | None" = None,
     ) -> dict[str, object]:
         """The declarative stage-graph spec equivalent to this facade.
 
@@ -249,6 +271,8 @@ class SparkER:
         }
         if kernel_backend is not None:
             engine_section["kernel_backend"] = kernel_backend
+        if fault_policy is not None:
+            engine_section["fault_policy"] = fault_policy
         return {
             "name": "sparker",
             "engine": engine_section,
@@ -262,6 +286,7 @@ class SparkER:
             use_engine=self.engine is not None,
             executor=self._executor_spec,
             kernel_backend=self.kernel_backend,
+            fault_policy=self._fault_policy_spec,
         )
         return Pipeline.from_spec(spec, engine=self.engine)
 

@@ -38,6 +38,13 @@ from repro.engine.executors import (
     SerialExecutor,
     resolve_executor,
 )
+from repro.engine.faults import (
+    FaultInjected,
+    FaultInjector,
+    FaultPolicy,
+    resolve_fault_injector,
+    resolve_fault_policy,
+)
 from repro.engine.partitioner import HashPartitioner, RangePartitioner
 from repro.engine.metrics import TaskMetrics, StageMetrics, JobMetrics
 from repro.engine.graphx import connected_components, pregel_connected_components
@@ -51,6 +58,11 @@ __all__ = [
     "SerialExecutor",
     "MultiprocessingExecutor",
     "resolve_executor",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPolicy",
+    "resolve_fault_injector",
+    "resolve_fault_policy",
     "HashPartitioner",
     "RangePartitioner",
     "TaskMetrics",

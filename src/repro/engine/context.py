@@ -37,6 +37,16 @@ class EngineContext:
         variable (default: serial).  A context created from a spec string
         owns its executor and closes it in :meth:`stop`; a caller-supplied
         instance is shared and left open.
+    fault_policy:
+        Task recovery contract for the multiprocessing executor (a
+        :class:`~repro.engine.faults.FaultPolicy`, spec string or dict;
+        ``None`` consults ``REPRO_FAULT_POLICY``).  Only meaningful when the
+        executor is built from a spec string here — pass the policy to the
+        executor's constructor when supplying an instance.
+    fault_injector:
+        Deterministic test-only fault injection (spec string or
+        :class:`~repro.engine.faults.FaultInjector`; ``None`` consults
+        ``REPRO_FAULT_INJECT``).
     """
 
     def __init__(
@@ -44,6 +54,8 @@ class EngineContext:
         default_parallelism: int = 4,
         app_name: str = "sparker",
         executor: "Executor | str | None" = None,
+        fault_policy: Any = None,
+        fault_injector: Any = None,
     ) -> None:
         if default_parallelism <= 0:
             raise EngineError("default_parallelism must be positive")
@@ -51,7 +63,9 @@ class EngineContext:
         self.app_name = app_name
         self.scheduler = Scheduler()
         self._owns_executor = not isinstance(executor, Executor)
-        self.executor = resolve_executor(executor)
+        self.executor = resolve_executor(
+            executor, fault_policy=fault_policy, fault_injector=fault_injector
+        )
         self._broadcasts: dict[int, Broadcast[Any]] = {}
         self._accumulators: dict[int, Accumulator[Any]] = {}
 
@@ -116,6 +130,9 @@ class EngineContext:
             "jobs": len(self.scheduler.jobs),
             "stages": len(self.scheduler.stages),
             "tasks": self.scheduler.total_tasks,
+            "task_attempts": self.scheduler.total_task_attempts,
+            "task_failures": self.scheduler.total_task_failures,
+            "tasks_recovered": self.scheduler.total_recovered,
             "shuffle_records": self.scheduler.total_shuffle_records,
             "shuffle_bytes": self.scheduler.total_shuffle_bytes,
             "broadcasts": len(self._broadcasts),

@@ -30,6 +30,20 @@ Executor selection: pass an :class:`Executor` instance or a spec string to
 ``EngineContext(executor=...)``, or set the ``REPRO_ENGINE_EXECUTOR``
 environment variable.  Spec strings: ``"serial"``, ``"process"``,
 ``"process:4"`` (4 workers).
+
+Fault tolerance: the multiprocessing executor owns a
+:class:`~repro.engine.faults.FaultPolicy` that governs an *attempt loop*
+around each shipped stage — a crashed worker (``BrokenProcessPool``), a hung
+task (per-task timeout) or a task exception fails only that attempt wave;
+the pool is torn down and rebuilt, orphaned ``/dev/shm`` segments are swept,
+and only the still-failing partitions are re-run after a deterministic
+backoff.  Retrying is bit-for-bit safe because a task is a pure replay of
+the pickled chain over an immutable partition and only final successful
+outcomes are merged into driver state.  When the policy is exhausted the
+stage either raises or replays the failing partitions in the driver
+(``on_exhausted="serial-fallback"``), re-running the *pickled* chain under
+task-side accumulator capture so the partition-order replay — and therefore
+every float accumulation — stays identical to a clean run.
 """
 
 from __future__ import annotations
@@ -41,6 +55,8 @@ import sys
 import time
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -48,6 +64,13 @@ import itertools
 
 from repro.engine import accumulators as _accumulators
 from repro.engine import broadcast as _broadcast
+from repro.engine.faults import (
+    FaultInjector,
+    FaultPolicy,
+    _FaultProbe,
+    resolve_fault_injector,
+    resolve_fault_policy,
+)
 from repro.exceptions import EngineError
 
 ENV_VAR = "REPRO_ENGINE_EXECUTOR"
@@ -81,7 +104,10 @@ class TaskOutcome:
     Besides the materialised partition this carries everything the driver
     must merge back: the task's wall-clock, which worker ran it, the
     accumulator updates it recorded (replayed driver-side in partition
-    order) and how often it read each broadcast variable.
+    order) and how often it read each broadcast variable.  ``attempts`` and
+    ``failures`` record the fault-tolerance history of the partition:
+    ``attempts`` counts execution attempts including the final successful
+    one, ``failures`` the failed attempts before it (0 on a clean run).
     """
 
     partition: list[Any]
@@ -89,6 +115,8 @@ class TaskOutcome:
     worker: str = "driver"
     accumulator_updates: dict[int, list[Any]] = field(default_factory=dict)
     broadcast_reads: dict[int, int] = field(default_factory=dict)
+    attempts: int = 1
+    failures: int = 0
 
 
 @dataclass
@@ -109,7 +137,10 @@ class Executor:
     name = "executor"
 
     def run_stage(
-        self, funcs: Sequence[StageFunc], source_partitions: Sequence[Sequence[Any]]
+        self,
+        funcs: Sequence[StageFunc],
+        source_partitions: Sequence[Sequence[Any]],
+        name: str = "stage",
     ) -> StageResult:
         raise NotImplementedError
 
@@ -132,7 +163,10 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def run_stage(
-        self, funcs: Sequence[StageFunc], source_partitions: Sequence[Sequence[Any]]
+        self,
+        funcs: Sequence[StageFunc],
+        source_partitions: Sequence[Sequence[Any]],
+        name: str = "stage",
     ) -> StageResult:
         tasks = []
         for index, partition in enumerate(source_partitions):
@@ -171,6 +205,46 @@ def _run_remote_task(
     )
 
 
+def _run_driver_task(payload: bytes, index: int, partition: list[Any]) -> TaskOutcome:
+    """Driver-side per-partition serial fallback of the fault-tolerant loop.
+
+    Replays the *pickled* chain: accumulators rebuild (via their
+    ``__reduce__``) as capturing task-side replicas, so the recorded updates
+    are merged by the caller in partition order together with the pool
+    outcomes — preserving the exact accumulation order of a clean run.
+    Broadcasts resolve through the registry back to the driver originals,
+    whose access counts increment directly (hence no reads are reported).
+    """
+    start = time.perf_counter()
+    funcs = pickle.loads(payload)
+    _accumulators.begin_task_capture()
+    try:
+        rows: Iterable[Any] = iter(partition)
+        for func in funcs:
+            rows = func(index, rows)
+        data = list(rows)
+    finally:
+        updates = _accumulators.end_task_capture()
+    return TaskOutcome(data, time.perf_counter() - start, "driver", updates, {})
+
+
+def _sweep_shared_segments() -> None:
+    """Best-effort sweep of orphaned shared-memory segments after a crash.
+
+    The engine layer does not depend on the meta-blocking package; the sweep
+    is imported lazily and any failure is swallowed — leaked segments are a
+    resource concern, never a correctness one.
+    """
+    try:
+        from repro.metablocking.sharedmem import sweep_orphaned_segments
+    except Exception:  # pragma: no cover - optional subsystem
+        return
+    try:
+        sweep_orphaned_segments()
+    except Exception:  # pragma: no cover - defensive
+        pass
+
+
 class MultiprocessingExecutor(Executor):
     """Run each task of a stage in a process pool (real multi-core execution).
 
@@ -184,18 +258,34 @@ class MultiprocessingExecutor(Executor):
         stage serially in the driver and labels it
         ``process[...]→serial-fallback`` in the stage metrics; ``"raise"``
         raises :class:`~repro.exceptions.EngineError` immediately.
+    fault_policy:
+        Recovery contract for shipped tasks — a
+        :class:`~repro.engine.faults.FaultPolicy`, a spec string/dict, or
+        ``None`` to consult ``REPRO_FAULT_POLICY`` (default: no retries,
+        identical to the historical fail-fast behaviour).
+    fault_injector:
+        Deterministic test-only chaos harness — a
+        :class:`~repro.engine.faults.FaultInjector`, a spec string, or
+        ``None`` to consult ``REPRO_FAULT_INJECT`` (default: no injection).
 
     The pool is created lazily on the first shipped stage (with the ``fork``
     start method where available, so already-registered broadcasts are
     inherited copy-on-write) and must be released with :meth:`close` — or use
     the executor / its :class:`~repro.engine.context.EngineContext` as a
-    context manager.
+    context manager.  A pool broken by a worker crash or a hung task is torn
+    down and lazily rebuilt by the fault-tolerant attempt loop of
+    :meth:`run_stage`; rebuilt pools re-fork from the driver, so broadcast
+    registry state is inherited exactly as on first creation.
     """
 
     name = "process"
 
     def __init__(
-        self, max_workers: int | None = None, on_unpicklable: str = "fallback"
+        self,
+        max_workers: int | None = None,
+        on_unpicklable: str = "fallback",
+        fault_policy: "FaultPolicy | str | dict | None" = None,
+        fault_injector: "FaultInjector | str | None" = None,
     ) -> None:
         if on_unpicklable not in ("fallback", "raise"):
             raise EngineError(
@@ -205,6 +295,8 @@ class MultiprocessingExecutor(Executor):
             raise EngineError("max_workers must be positive")
         self.max_workers = max_workers or os.cpu_count() or 1
         self.on_unpicklable = on_unpicklable
+        self.fault_policy = resolve_fault_policy(fault_policy)
+        self.fault_injector = resolve_fault_injector(fault_injector)
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
 
@@ -232,7 +324,10 @@ class MultiprocessingExecutor(Executor):
         return self._pool
 
     def run_stage(
-        self, funcs: Sequence[StageFunc], source_partitions: Sequence[Sequence[Any]]
+        self,
+        funcs: Sequence[StageFunc],
+        source_partitions: Sequence[Sequence[Any]],
+        name: str = "stage",
     ) -> StageResult:
         if self._closed:
             # A silent restart here would fork a fresh pool that nothing owns
@@ -258,17 +353,145 @@ class MultiprocessingExecutor(Executor):
                 ) from error
             serial = SerialExecutor().run_stage(funcs, source_partitions)
             return StageResult(f"{self.label}→serial-fallback", serial.tasks)
-        pool = self._ensure_pool()
         token = next(_stage_tokens)
-        futures = [
-            pool.submit(_run_remote_task, payload, token, index, list(partition))
-            for index, partition in enumerate(source_partitions)
-        ]
-        # Collect in submission order: partition order is what keeps the
-        # driver-side merge (dict insertion, accumulator replay) identical to
-        # a serial run.
-        tasks = [future.result() for future in futures]
-        return StageResult(self.label, tasks)
+        policy = self.fault_policy
+        num_tasks = len(source_partitions)
+        outcomes: list[TaskOutcome | None] = [None] * num_tasks
+        failure_counts = [0] * num_tasks
+        pending = list(range(num_tasks))
+        last_error: BaseException | None = None
+        attempt = 0
+        while pending and attempt < policy.max_attempts:
+            attempt += 1
+            final_attempt = attempt >= policy.max_attempts
+            if attempt > 1:
+                delay = policy.backoff(attempt - 1)
+                if delay > 0:
+                    time.sleep(delay)
+            # Fault injection (tests only): attempt waves with a matching
+            # clause ship a probe-prefixed copy of the chain under a fresh
+            # token; clean waves reuse the original payload unchanged.
+            attempt_payload, attempt_token = payload, token
+            if self.fault_injector is not None:
+                clauses = self.fault_injector.plan(name, attempt)
+                if clauses:
+                    probe = _FaultProbe(clauses, name, attempt)
+                    attempt_payload = pickle.dumps(
+                        (probe, *tuple(funcs)), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    attempt_token = next(_stage_tokens)
+            wave: list[tuple[int, Any]] = []
+            pool_broken = False
+            try:
+                pool = self._ensure_pool()
+                for index in pending:
+                    wave.append(
+                        (
+                            index,
+                            pool.submit(
+                                _run_remote_task,
+                                attempt_payload,
+                                attempt_token,
+                                index,
+                                list(source_partitions[index]),
+                            ),
+                        )
+                    )
+            except (BrokenProcessPool, RuntimeError) as error:
+                last_error = error
+                pool_broken = True
+            # Collect in submission order: partition order is what keeps the
+            # driver-side merge (dict insertion, accumulator replay)
+            # identical to a serial run.  Every submitted future of the wave
+            # is consumed (or the pool torn down), so a failure never leaves
+            # orphaned tasks running behind the driver's back.
+            still_pending: list[int] = []
+            for index, future in wave:
+                try:
+                    outcome = future.result(timeout=policy.task_timeout)
+                except FutureTimeoutError as error:
+                    last_error = error
+                    failure_counts[index] += 1
+                    still_pending.append(index)
+                    if not pool_broken:
+                        # Hung workers cannot be cancelled; kill them so the
+                        # remaining futures of this wave fail fast instead of
+                        # each waiting out the full timeout.
+                        pool_broken = True
+                        self._terminate_workers()
+                except BrokenProcessPool as error:
+                    last_error = error
+                    failure_counts[index] += 1
+                    still_pending.append(index)
+                    pool_broken = True
+                except Exception as error:
+                    # The task itself raised (user code or injected fault).
+                    last_error = error
+                    failure_counts[index] += 1
+                    if final_attempt and policy.on_exhausted == "raise":
+                        # Unrecoverable: cancel the outstanding futures of
+                        # this wave and surface the original exception.
+                        self._discard_pool()
+                        raise
+                    still_pending.append(index)
+                else:
+                    outcome.attempts = attempt
+                    outcome.failures = failure_counts[index]
+                    outcomes[index] = outcome
+            submitted = {index for index, _ in wave}
+            for index in pending:
+                if index not in submitted:
+                    failure_counts[index] += 1
+                    still_pending.append(index)
+            if pool_broken:
+                self._discard_pool()
+            pending = sorted(set(still_pending))
+        label = self.label
+        if pending:
+            if policy.on_exhausted != "serial-fallback":
+                raise EngineError(
+                    f"stage {name!r}: {len(pending)} task(s) still failing "
+                    f"after {policy.max_attempts} attempt(s); last error: "
+                    f"{last_error!r}"
+                ) from last_error
+            # Exhausted: replay the failing partitions in the driver.  The
+            # *pickled* chain is replayed (not the original funcs), so
+            # accumulators rebuild as capturing task-side replicas and the
+            # updates are merged in partition order with the pool outcomes —
+            # the same replay order as a clean run.
+            for index in pending:
+                outcome = _run_driver_task(
+                    payload, index, list(source_partitions[index])
+                )
+                outcome.attempts = failure_counts[index] + 1
+                outcome.failures = failure_counts[index]
+                outcomes[index] = outcome
+            label = f"{self.label}→serial-fallback"
+        tasks = [outcome for outcome in outcomes if outcome is not None]
+        if len(tasks) != num_tasks:  # pragma: no cover - defensive
+            raise EngineError(f"stage {name!r} lost task outcomes during recovery")
+        return StageResult(label, tasks)
+
+    def _terminate_workers(self) -> None:
+        """Forcibly kill the pool's worker processes (hung-task recovery)."""
+        pool = self._pool
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            if process.is_alive():
+                process.terminate()
+
+    def _discard_pool(self) -> None:
+        """Tear down the pool without waiting; a later wave rebuilds lazily.
+
+        ``cancel_futures=True`` drops any still-queued tasks so a failed
+        stage does not leak work, and the shared-memory sweep releases
+        ``/dev/shm`` segments orphaned by crashed workers.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        _sweep_shared_segments()
 
     def close(self) -> None:
         self._closed = True
@@ -279,20 +502,37 @@ class MultiprocessingExecutor(Executor):
     def __repr__(self) -> str:
         return (
             f"MultiprocessingExecutor(max_workers={self.max_workers}, "
-            f"on_unpicklable={self.on_unpicklable!r})"
+            f"on_unpicklable={self.on_unpicklable!r}, "
+            f"fault_policy={self.fault_policy.spec()!r})"
         )
 
 
-def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
+def resolve_executor(
+    spec: "Executor | str | None" = None,
+    *,
+    fault_policy: "FaultPolicy | str | dict | None" = None,
+    fault_injector: "FaultInjector | str | None" = None,
+) -> Executor:
     """Turn an executor spec into an :class:`Executor` instance.
 
     ``None`` consults the ``REPRO_ENGINE_EXECUTOR`` environment variable and
     defaults to the serial executor.  Strings: ``"serial"``; ``"process"`` /
     ``"multiprocessing"``, optionally with a worker count (``"process:4"``).
+
+    ``fault_policy`` / ``fault_injector`` configure the multiprocessing
+    executor built from a spec string (serial execution has no pool to
+    recover, so they are ignored for ``"serial"``); combining them with an
+    already-built :class:`Executor` instance is an error — configure the
+    instance itself.
     """
     if spec is None:
         spec = os.environ.get(ENV_VAR, "").strip() or "serial"
     if isinstance(spec, Executor):
+        if fault_policy is not None or fault_injector is not None:
+            raise EngineError(
+                "cannot combine an Executor instance with fault_policy/"
+                "fault_injector; pass them to the executor's constructor"
+            )
         return spec
     if not isinstance(spec, str):
         raise EngineError(f"executor spec must be an Executor or a string, got {spec!r}")
@@ -314,7 +554,11 @@ def resolve_executor(spec: "Executor | str | None" = None) -> Executor:
                 raise EngineError(
                     f"invalid worker count in executor spec {spec!r}"
                 ) from error
-        return MultiprocessingExecutor(max_workers=workers)
+        return MultiprocessingExecutor(
+            max_workers=workers,
+            fault_policy=fault_policy,
+            fault_injector=fault_injector,
+        )
     raise EngineError(
         f"unknown executor {spec!r}; expected 'serial', 'process' or 'process:<N>'"
     )

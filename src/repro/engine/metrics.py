@@ -18,6 +18,11 @@ class TaskMetrics:
 
     ``worker`` identifies where the task ran: ``"driver"`` for in-process
     execution, ``"pid-<n>"`` for a multiprocessing-executor worker.
+    ``attempts`` counts execution attempts including the successful one and
+    ``failures`` the failed attempts before it (crashes, timeouts, task
+    exceptions recovered by the executor's fault policy); a clean task has
+    ``attempts == 1, failures == 0`` and a *recovered* task has
+    ``failures > 0``.
     """
 
     stage_id: int
@@ -30,6 +35,13 @@ class TaskMetrics:
     shuffle_write_bytes: int = 0
     elapsed_seconds: float = 0.0
     worker: str = "driver"
+    attempts: int = 1
+    failures: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        """True when the task failed at least once but still completed."""
+        return self.failures > 0
 
 
 @dataclass
@@ -84,6 +96,21 @@ class StageMetrics:
     @property
     def total_shuffle_write_bytes(self) -> int:
         return sum(t.shuffle_write_bytes for t in self.tasks)
+
+    @property
+    def total_attempts(self) -> int:
+        """Task execution attempts, including retries (== tasks when clean)."""
+        return sum(t.attempts for t in self.tasks)
+
+    @property
+    def total_failures(self) -> int:
+        """Failed task attempts recovered by retry or serial fallback."""
+        return sum(t.failures for t in self.tasks)
+
+    @property
+    def num_recovered(self) -> int:
+        """Tasks that failed at least once but still completed."""
+        return sum(1 for t in self.tasks if t.recovered)
 
     @property
     def max_task_records(self) -> int:

@@ -177,14 +177,19 @@ class RDD:
                 if outcomes is not None and index < len(outcomes):
                     task_elapsed = outcomes[index].elapsed_seconds
                     worker = outcomes[index].worker
+                    attempts = outcomes[index].attempts
+                    failures = outcomes[index].failures
                 else:
                     task_elapsed, worker = per_task, "driver"
+                    attempts, failures = 1, 0
                 self.context.scheduler.record_task(
                     stage,
                     index,
                     output_records=len(partition),
                     elapsed_seconds=task_elapsed,
                     worker=worker,
+                    attempts=attempts,
+                    failures=failures,
                 )
             self._materialized = partitions
             self._task_outcomes = None
@@ -534,7 +539,9 @@ class MappedPartitionsRDD(RDD):
     def _compute(self) -> list[list[Any]]:
         source, funcs = self._fused_chain()
         self._fused_stages = len(funcs)
-        result = self.context.executor.run_stage(funcs, source.partitions())
+        result = self.context.executor.run_stage(
+            funcs, source.partitions(), name=self.name
+        )
         self._stage_executor = result.executor
         self._task_outcomes = result.tasks
         self.context.merge_stage_result(result)

@@ -72,6 +72,8 @@ class Scheduler:
         shuffle_write_bytes: int = 0,
         elapsed_seconds: float = 0.0,
         worker: str = "driver",
+        attempts: int = 1,
+        failures: int = 0,
     ) -> TaskMetrics:
         """Append a task record to ``stage``."""
         task = TaskMetrics(
@@ -85,6 +87,8 @@ class Scheduler:
             shuffle_write_bytes=shuffle_write_bytes,
             elapsed_seconds=elapsed_seconds,
             worker=worker,
+            attempts=attempts,
+            failures=failures,
         )
         stage.tasks.append(task)
         return task
@@ -93,6 +97,21 @@ class Scheduler:
     @property
     def total_tasks(self) -> int:
         return sum(stage.num_tasks for stage in self.stages)
+
+    @property
+    def total_task_attempts(self) -> int:
+        """Task execution attempts across all stages (== tasks when clean)."""
+        return sum(stage.total_attempts for stage in self.stages)
+
+    @property
+    def total_task_failures(self) -> int:
+        """Failed task attempts recovered by retry or serial fallback."""
+        return sum(stage.total_failures for stage in self.stages)
+
+    @property
+    def total_recovered(self) -> int:
+        """Tasks that failed at least once but still completed."""
+        return sum(stage.num_recovered for stage in self.stages)
 
     @property
     def total_shuffle_records(self) -> int:
@@ -126,6 +145,9 @@ class Scheduler:
                 "executor": stage.executor,
                 "workers": stage.num_workers,
                 "tasks": stage.num_tasks,
+                "attempts": stage.total_attempts,
+                "failures": stage.total_failures,
+                "recovered": stage.num_recovered,
                 "fused": stage.fused_stages,
                 "records_in": stage.total_input_records,
                 "records_out": stage.total_output_records,

@@ -262,12 +262,13 @@ def execute_shuffle(
 
     for side_index, (parent_partitions, combiner) in enumerate(sides):
         map_task = ShuffleMapTask(partitioner, combiner)
-        result = context.executor.run_stage([map_task], parent_partitions)
-        context.merge_stage_result(result)
         side_suffix = f".side{side_index}" if tagged else ""
-        stage = context.scheduler.new_stage(
-            f"{name}.map{side_suffix}", executor=result.executor
+        stage_name = f"{name}.map{side_suffix}"
+        result = context.executor.run_stage(
+            [map_task], parent_partitions, name=stage_name
         )
+        context.merge_stage_result(result)
+        stage = context.scheduler.new_stage(stage_name, executor=result.executor)
         for index, outcome in enumerate(result.tasks):
             buckets = outcome.partition[0]
             task_records = 0
@@ -292,9 +293,13 @@ def execute_shuffle(
                 shuffle_write_bytes=task_bytes,
                 elapsed_seconds=outcome.elapsed_seconds,
                 worker=outcome.worker,
+                attempts=outcome.attempts,
+                failures=outcome.failures,
             )
 
-    result = context.executor.run_stage([reduce_task], reduce_inputs)
+    result = context.executor.run_stage(
+        [reduce_task], reduce_inputs, name=f"{name}.reduce"
+    )
     context.merge_stage_result(result)
     stage = context.scheduler.new_stage(f"{name}.reduce", executor=result.executor)
     partitions: list[list[Any]] = []
@@ -310,5 +315,7 @@ def execute_shuffle(
             shuffle_read_bytes=read_bytes[index],
             elapsed_seconds=outcome.elapsed_seconds,
             worker=outcome.worker,
+            attempts=outcome.attempts,
+            failures=outcome.failures,
         )
     return partitions

@@ -53,6 +53,14 @@ _KEEP_RECENT_ATTACHMENTS = 2
 # ``_KEEP_RECENT_ATTACHMENTS``), or process exit.
 _handles: dict[str, "SharedIndexBuffers"] = {}
 
+# Names of segments exported (and still owned) by this process.  The sweep
+# after a pool crash uses this as the live set: anything in /dev/shm carrying
+# this process's prefix but missing here is an orphan.  Names are registered
+# in :meth:`SharedIndexBuffers.export` and dropped by ``_release_segment``
+# (explicit release or the GC finalizer backstop), so register/unregister is
+# exactly paired with create/unlink.
+_live_owned: set[str] = set()
+
 
 def _attach_untracked(name: str):
     """Attach to a segment without registering it with the resource tracker.
@@ -107,8 +115,16 @@ def _quiet_close(shm) -> None:
 
 
 def _release_segment(shm, owner: bool) -> None:
-    """Finalizer body: close the mapping, unlink once if we created it."""
+    """Finalizer body: close the mapping, unlink once if we created it.
+
+    Both steps are idempotent: the run-scoped release, the GC finalizer
+    backstop and the post-crash orphan sweep can race over the same segment,
+    so a mapping already closed or a name already unlinked (by whichever got
+    there first) must be a no-op, never an error.
+    """
     _handles.pop(shm.name, None)
+    if owner:
+        _live_owned.discard(shm.name)
     _quiet_close(shm)
     if owner:
         try:
@@ -167,6 +183,7 @@ class SharedIndexBuffers:
         # cached strong reference would keep an abandoned export alive and
         # defeat the garbage-collection unlink backstop.  A same-process
         # attach of an owned segment simply maps it a second time.
+        _live_owned.add(name)
         return cls(shm, layout, owner=True)
 
     @classmethod
@@ -230,6 +247,57 @@ class SharedIndexBuffers:
         role = "owner" if self.owner else "attached"
         state = "released" if self._released else "live"
         return f"SharedIndexBuffers(name={self.name!r}, {role}, {state})"
+
+
+def sweep_orphaned_segments() -> list[str]:
+    """Unlink orphaned ``repro-csr`` segments; returns the swept names.
+
+    Called by the multiprocessing executor when it rebuilds a pool after a
+    worker crash.  Two kinds of orphans are swept:
+
+    * segments carrying *this* process's pid prefix that are no longer in the
+      live-owner registry — an export abandoned without release whose
+      finalizer never ran (e.g. state torn by a crashed fork);
+    * segments of a *dead* process — a previous driver killed before its
+      run-scoped release or exit backstop could unlink.
+
+    Segments of other live processes are left alone, so concurrent runs on
+    one machine never sweep each other.  Everything is best-effort and
+    idempotent: a name unlinked by the owner between listing and sweeping is
+    skipped silently.
+    """
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX platforms
+        return []
+    own_pid = os.getpid()
+    swept: list[str] = []
+    for entry in sorted(os.listdir(shm_dir)):
+        if not entry.startswith(f"{SEGMENT_PREFIX}-"):
+            continue
+        try:
+            pid = int(entry.split("-")[2])
+        except (IndexError, ValueError):  # pragma: no cover - foreign name
+            continue
+        if pid == own_pid:
+            if entry in _live_owned:
+                continue
+        else:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                pass  # owner is dead: the segment is an orphan
+            except PermissionError:  # pragma: no cover - alive, other user
+                continue
+            else:
+                continue  # owner still alive: not ours to sweep
+        try:
+            os.unlink(os.path.join(shm_dir, entry))
+        except FileNotFoundError:  # pragma: no cover - released mid-sweep
+            continue
+        except OSError:  # pragma: no cover - defensive
+            continue
+        swept.append(entry)
+    return swept
 
 
 def live_segments() -> list[str]:

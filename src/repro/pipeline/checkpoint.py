@@ -5,10 +5,19 @@ resolved spec, the artifact store, the report, the per-stage execution
 records and the input data — into one pickle under the checkpoint directory.
 A re-run with ``resume=True`` (or ``python -m repro.cli resume``) loads that
 state, verifies the spec still matches, and skips every completed stage.
+
+Integrity: the manifest records a SHA-256 checksum of the state pickle, and
+every save first rotates the previous (verified-at-write-time) state into a
+backup slot.  :meth:`PipelineCheckpoint.load` verifies the checksum before
+unpickling; a torn or corrupt state file is detected and the load falls back
+to the backup — one stage behind, so a resume restarts from the last
+verified stage instead of unpickling garbage.  Only when both copies fail
+verification does the load raise.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -19,8 +28,13 @@ from typing import Any
 from repro.exceptions import PipelineError
 
 STATE_FILE = "pipeline_state.pkl"
+BACKUP_FILE = "pipeline_state.prev.pkl"
 MANIFEST_FILE = "pipeline_manifest.json"
 CHECKPOINT_VERSION = 1
+
+
+def _checksum(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
 
 
 class PipelineCheckpoint:
@@ -34,6 +48,10 @@ class PipelineCheckpoint:
         return self.directory / STATE_FILE
 
     @property
+    def backup_path(self) -> Path:
+        return self.directory / BACKUP_FILE
+
+    @property
     def manifest_path(self) -> Path:
         return self.directory / MANIFEST_FILE
 
@@ -43,44 +61,129 @@ class PipelineCheckpoint:
 
     # ------------------------------------------------------------------ save
     def save(self, state: dict[str, Any]) -> None:
-        """Atomically persist ``state`` (tmp file + rename).
+        """Atomically persist ``state`` (tmp file + rename) with a checksum.
 
         A crash mid-save leaves the previous checkpoint intact, so a resumed
-        run can only ever lose the latest stage, never the whole run.
+        run can only ever lose the latest stage, never the whole run.  The
+        previous state file is rotated into the backup slot first, so even a
+        state file corrupted *after* a successful save (torn write on a dying
+        disk, truncation) still leaves a verified copy one stage behind.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         state = dict(state)
         state["version"] = CHECKPOINT_VERSION
-        descriptor, tmp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=STATE_FILE, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, self.state_path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
+        data = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = _checksum(data)
+        backup_digest: str | None = None
+        if self.state_path.is_file():
+            try:
+                backup_digest = _checksum(self.state_path.read_bytes())
+                os.replace(self.state_path, self.backup_path)
+            except OSError:  # pragma: no cover - unreadable previous state
+                backup_digest = None
+        self._write_atomic(self.state_path, data)
         manifest = {
             "version": CHECKPOINT_VERSION,
+            "checksum": digest,
+            "backup_checksum": backup_digest,
             "completed": list(state.get("completed", [])),
             "stages": [entry.get("stage") for entry in state.get("spec", {}).get("stages", [])],
             "artifacts": state.get("artifact_manifest", {}),
         }
-        self.manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        self._write_atomic(
+            self.manifest_path, json.dumps(manifest, indent=2).encode("utf-8")
+        )
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
 
     # ------------------------------------------------------------------ load
     def load(self) -> dict[str, Any]:
-        """Load and version-check the persisted run state."""
+        """Load, checksum-verify and version-check the persisted run state.
+
+        Falls back to the rotated backup (one completed stage behind) when
+        the primary state file fails verification or unpickling; raises
+        :class:`~repro.exceptions.PipelineError` when neither copy verifies.
+        """
         if not self.exists():
             raise PipelineError(f"no checkpoint found at {self.state_path}")
-        with self.state_path.open("rb") as handle:
-            state = pickle.load(handle)
+        checksums = self._manifest_checksums()
+        primary_error: Exception | None = None
+        try:
+            state = self._load_verified(self.state_path, checksums.get("checksum"))
+        except PipelineError as error:
+            primary_error = error
+            if not self.backup_path.is_file():
+                raise PipelineError(
+                    f"checkpoint state at {self.state_path} is corrupt and no "
+                    f"backup exists: {error}"
+                ) from error
+            try:
+                state = self._load_verified(
+                    self.backup_path, checksums.get("backup_checksum")
+                )
+            except PipelineError as backup_error:
+                raise PipelineError(
+                    f"checkpoint state at {self.state_path} is corrupt and the "
+                    f"backup failed verification too "
+                    f"(state: {primary_error}; backup: {backup_error})"
+                ) from backup_error
         version = state.get("version")
         if version != CHECKPOINT_VERSION:
             raise PipelineError(
                 f"checkpoint version {version!r} is not supported "
                 f"(expected {CHECKPOINT_VERSION})"
+            )
+        return state
+
+    def _manifest_checksums(self) -> dict[str, str]:
+        """Recorded checksums, if the manifest is present and readable.
+
+        Checkpoints written before checksums existed (or with a manifest
+        lost separately) degrade to unpickle-guarded loads — absence of a
+        recorded checksum is not an integrity failure.
+        """
+        try:
+            manifest = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(manifest, dict):  # pragma: no cover - foreign file
+            return {}
+        checksums: dict[str, str] = {}
+        for key in ("checksum", "backup_checksum"):
+            value = manifest.get(key)
+            if isinstance(value, str):
+                checksums[key] = value
+        return checksums
+
+    def _load_verified(self, path: Path, expected: str | None) -> dict[str, Any]:
+        try:
+            data = path.read_bytes()
+        except OSError as error:
+            raise PipelineError(f"cannot read checkpoint state {path}: {error}") from error
+        if expected is not None and _checksum(data) != expected:
+            raise PipelineError(
+                f"checkpoint state {path} does not match its recorded checksum "
+                f"(torn or corrupt write)"
+            )
+        try:
+            state = pickle.loads(data)
+        except Exception as error:
+            raise PipelineError(
+                f"checkpoint state {path} failed to unpickle: {error!r}"
+            ) from error
+        if not isinstance(state, dict):
+            raise PipelineError(
+                f"checkpoint state {path} holds {type(state).__name__}, expected dict"
             )
         return state

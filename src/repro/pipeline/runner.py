@@ -41,7 +41,13 @@ _ENGINE_COUNTERS = ("jobs", "stages", "tasks", "shuffle_records", "shuffle_bytes
 # Monotonic counters in EngineContext.metrics_summary() that a per-run view
 # must report as deltas; everything else (e.g. default_parallelism) is a
 # configuration gauge and passes through unchanged.
-_ENGINE_RUN_COUNTERS = _ENGINE_COUNTERS + ("broadcasts", "accumulators")
+_ENGINE_RUN_COUNTERS = _ENGINE_COUNTERS + (
+    "broadcasts",
+    "accumulators",
+    "task_attempts",
+    "task_failures",
+    "tasks_recovered",
+)
 
 _SPEC_ENTRY_KEYS = {"stage", "label", "params", "inputs", "outputs"}
 
@@ -331,6 +337,11 @@ class Pipeline:
             stages.append(stage)
 
         engine_section = dict(spec.get("engine") or {})
+        fault_policy = engine_section.get("fault_policy")
+        if fault_policy is not None and not isinstance(fault_policy, (str, Mapping)):
+            raise PipelineValidationError(
+                f"engine.fault_policy must be a string or mapping, got {fault_policy!r}"
+            )
         owns_engine = False
         if engine is not _UNSET:
             engine_context = engine  # caller-managed (possibly None)
@@ -338,6 +349,7 @@ class Pipeline:
             engine_context = EngineContext(
                 default_parallelism=int(engine_section.get("parallelism", 4)),
                 executor=engine_section.get("executor"),
+                fault_policy=fault_policy,
             )
             owns_engine = True
         else:
