@@ -385,6 +385,92 @@ def run_shuffle_benchmark(sizes=DEFAULT_SIZES) -> list[dict]:
     return entries
 
 
+# ------------------------------------------------------- block store pass
+def _vote_blockstore_volume(node_ids, weights, store, workers):
+    """Run the WNP vote job under ``process:N`` with the given block store.
+
+    Returns the collected vote map plus the map-stage shuffle volumes split
+    by route: ``payload_bytes`` (total pickled bucket payload — identical
+    across stores), ``relay_bytes`` (what crossed the driver) and
+    ``peer_bytes`` (what moved worker-to-worker through segments / spill
+    files).  Deterministic: no timing involved.
+    """
+    context = EngineContext(4, executor=f"process:{workers}", block_store=store)
+    try:
+        _edge_list, incidence = edge_id_incidence(weights)
+        task = _WeightedNodeVotes(context.broadcast(incidence))
+        votes = (
+            context.parallelize(node_ids)
+            .flatMap(task, name="wnp.votes")
+            .reduceByKey(_sum_votes)
+            .collectAsMap()
+        )
+        map_rows = [
+            row
+            for row in context.scheduler.stage_table()
+            if str(row["description"]).startswith("wnp.votes.reduceByKey.shuffle.map")
+        ]
+        assert map_rows, "vote map stage missing from the stage table"
+        volumes = {
+            "payload_bytes": sum(row["shuffle_write_bytes"] for row in map_rows),
+            "relay_bytes": sum(row["shuffle_relay_bytes"] for row in map_rows),
+            "peer_bytes": sum(row["shuffle_peer_bytes"] for row in map_rows),
+        }
+        return votes, volumes
+    finally:
+        context.stop()
+
+
+def run_blockstore_benchmark(sizes=DEFAULT_SIZES, workers=2) -> list[dict]:
+    """Driver-relayed shuffle bytes: driver block store vs shared memory.
+
+    Runs the same WNP vote job (the ``shuffle_entries`` scenario) under a
+    ``process:N`` executor twice — once relaying every bucket payload through
+    the driver, once publishing buckets as named shared-memory segments with
+    the driver brokering only block refs.  The vote maps must be identical;
+    the guarded quantity is ``relay_reduction`` — the fraction of
+    driver-crossed bytes eliminated by the peer-to-peer store.  Writes the
+    ``blockstore_entries`` baseline section checked by
+    ``scripts/bench_guard.py``.
+    """
+    entries = []
+    for num_entities in sizes:
+        _dataset, blocks = prepare_blocks(num_entities)
+        csr_index = CSRBlockIndex.from_blocks(blocks, backend="python")
+        weights = kernel_edge_weights(csr_index)
+        node_ids = list(csr_index.node_ids)
+
+        driver_votes, driver_volumes = _vote_blockstore_volume(
+            node_ids, weights, "driver", workers
+        )
+        shm_votes, shm_volumes = _vote_blockstore_volume(
+            node_ids, weights, "shared-memory", workers
+        )
+        assert shm_votes == driver_votes, "block stores diverged on the vote map"
+        assert shm_volumes["payload_bytes"] == driver_volumes["payload_bytes"], (
+            "bucket payload bytes diverged between block stores"
+        )
+
+        entry = {
+            "num_entities": num_entities,
+            "edges": len(weights),
+            "workers": workers,
+            "driver": driver_volumes,
+            "shared_memory": shm_volumes,
+            "relay_reduction": round(
+                1.0 - shm_volumes["relay_bytes"] / driver_volumes["relay_bytes"], 4
+            ),
+        }
+        entries.append(entry)
+        print(
+            f"[{num_entities:>4} entities] wnp vote relay under process:{workers} | "
+            f"driver {driver_volumes['relay_bytes']:>9}B -> "
+            f"shared-memory {shm_volumes['relay_bytes']:>6}B "
+            f"(-{entry['relay_reduction']:.1%})"
+        )
+    return entries
+
+
 # ------------------------------------------------------- numpy backend pass
 def _numpy_weight_table(index):
     """One full numpy weighting job: fresh kernel sweep → weight table.
@@ -551,9 +637,19 @@ def main(argv=None) -> int:
         "--skip-numpy", action="store_true",
         help="keep the committed numpy-backend entries; skip that comparison",
     )
+    parser.add_argument(
+        "--skip-blockstore", action="store_true",
+        help="keep the committed block-store entries; skip the relay comparison",
+    )
     args = parser.parse_args(argv)
 
-    any_skip = args.skip_kernel or args.skip_e2e or args.skip_shuffle or args.skip_numpy
+    any_skip = (
+        args.skip_kernel
+        or args.skip_e2e
+        or args.skip_shuffle
+        or args.skip_numpy
+        or args.skip_blockstore
+    )
     existing = {}
     if any_skip and args.output.exists():
         existing = json.loads(args.output.read_text())
@@ -575,6 +671,11 @@ def main(argv=None) -> int:
         if args.skip_numpy
         else run_numpy_benchmark(args.sizes)
     )
+    blockstore_entries = (
+        existing.get("blockstore_entries", [])
+        if args.skip_blockstore
+        else run_blockstore_benchmark(args.sizes)
+    )
     if not args.dry_run:
         payload = {
             "benchmark": "metablocking_kernel",
@@ -582,6 +683,7 @@ def main(argv=None) -> int:
             "e2e_entries": e2e_entries,
             "shuffle_entries": shuffle_entries,
             "numpy_entries": numpy_entries,
+            "blockstore_entries": blockstore_entries,
         }
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"baseline written to {args.output}")

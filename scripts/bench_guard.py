@@ -1,8 +1,8 @@
 """Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Five guards, all built on ratios that are largely machine-independent; the
-first four compare against the committed ``BENCH_metablocking.json``
-baseline, the fifth measures both sides fresh:
+Six guards, all built on ratios that are largely machine-independent; the
+first five compare against the committed ``BENCH_metablocking.json``
+baseline, the sixth measures both sides fresh:
 
 * **kernel** — re-runs ``benchmarks/bench_metablocking_kernel.py`` at its
   smallest size and checks the kernel *speedups* (legacy time / kernel
@@ -18,6 +18,11 @@ baseline, the fifth measures both sides fresh:
   the legacy ``((a, b), (weight, count))`` tuple format.  Deterministic (no
   timing): fails when the byte reduction drops below the hard 40 percent
   floor or regresses below ``1 - tolerance`` of the committed reduction.
+* **block store relay** — re-runs the WNP vote job under ``process:N`` with
+  the shared-memory block store and checks that the bytes relayed through
+  the driver (block refs only) stay at or below 5 percent of the committed
+  driver-relay wire volume for the same scenario.  Deterministic: fails the
+  moment shuffle payloads start crossing the driver again.
 * **numpy kernel backend** — re-runs the python-vs-numpy backend comparison
   at the *largest* committed size and fails when the combined
   neighbourhood + WNP + CNP speedup of the vectorised kernel drops below
@@ -252,6 +257,84 @@ def check_shuffle_against_baseline(
     return failures
 
 
+BLOCKSTORE_RELAY_CEILING = 0.05  # acceptance: driver-relayed bytes ≤ 5% of the
+# committed shuffle_entries (PR 6) wire volume for the same vote scenario
+
+
+def check_blockstore_against_baseline(
+    baseline_path: Path = BASELINE_PATH,
+) -> list[str]:
+    """Guard the peer-to-peer shuffle block store; return failure messages.
+
+    Re-runs the WNP vote job (the ``shuffle_entries`` scenario) under
+    ``process:N`` with the shared-memory block store and fails when the
+    bytes relayed through the driver exceed ``BLOCKSTORE_RELAY_CEILING``
+    times the committed driver-relay wire volume — the ``edge_id_bytes`` of
+    the matching ``shuffle_entries`` entry.  Deterministic (pickled ref and
+    payload bytes, no wall-clock), so no timing tolerance is needed; the
+    benchmark itself asserts the vote maps are identical across stores
+    before any volume is reported.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_metablocking_kernel import run_blockstore_benchmark
+
+    baseline = json.loads(baseline_path.read_text())
+    blockstore_entries = baseline.get("blockstore_entries")
+    if not blockstore_entries:
+        return [
+            "no block-store baseline committed — regenerate with "
+            "`python benchmarks/bench_metablocking_kernel.py`"
+        ]
+    failures: list[str] = []
+    # The acceptance criterion lives on the *largest* committed scenario:
+    # the driver-relay volume grows with the graph while the ref volume
+    # stays a near-constant handful of block descriptors, so the largest
+    # size is where the ≤5% contract is meaningful (at tiny sizes the fixed
+    # ref cost can approach the payload itself).
+    largest = max(blockstore_entries, key=lambda entry: entry["num_entities"])
+    committed_reduction = largest["relay_reduction"]
+    if committed_reduction < 1.0 - BLOCKSTORE_RELAY_CEILING:
+        failures.append(
+            f"blockstore: committed relay reduction {committed_reduction:.1%} on "
+            f"the largest scenario is below the "
+            f"{1.0 - BLOCKSTORE_RELAY_CEILING:.0%} floor"
+        )
+    # Anchor the ceiling to the PR 6 shuffle_entries wire volume when the
+    # matching scenario is committed (the driver store relays exactly the
+    # vote payload, so the two baselines must agree byte-for-byte).
+    reference = largest["driver"]["relay_bytes"]
+    for wire_entry in baseline.get("shuffle_entries", []):
+        if wire_entry["num_entities"] == largest["num_entities"]:
+            committed_wire = wire_entry["wnp"]["edge_id_bytes"]
+            if committed_wire != reference:
+                failures.append(
+                    f"blockstore: committed driver relay {reference}B disagrees "
+                    f"with the shuffle_entries wire volume {committed_wire}B "
+                    f"for {largest['num_entities']} entities — regenerate both"
+                )
+            reference = committed_wire
+            break
+
+    current = run_blockstore_benchmark(
+        sizes=[largest["num_entities"]], workers=largest.get("workers", 2)
+    )[0]
+    measured_relay = current["shared_memory"]["relay_bytes"]
+    ceiling_bytes = BLOCKSTORE_RELAY_CEILING * reference
+    if measured_relay > ceiling_bytes:
+        failures.append(
+            f"blockstore: shared-memory store relayed {measured_relay}B through "
+            f"the driver under process:{current['workers']} — above the "
+            f"{BLOCKSTORE_RELAY_CEILING:.0%} ceiling ({ceiling_bytes:.0f}B) of "
+            f"the committed {reference}B driver-relay baseline"
+        )
+    if current["driver"]["relay_bytes"] != current["driver"]["payload_bytes"]:
+        failures.append(
+            "blockstore: driver store relay bytes no longer equal the bucket "
+            "payload bytes — the relay accounting changed"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -290,6 +373,7 @@ def main(argv=None) -> int:
     failures = check_against_baseline(args.tolerance, args.baseline)
     failures += check_e2e_against_baseline(args.e2e_tolerance, args.baseline)
     failures += check_shuffle_against_baseline(args.shuffle_tolerance, args.baseline)
+    failures += check_blockstore_against_baseline(args.baseline)
     failures += check_numpy_against_baseline(args.numpy_tolerance, args.baseline)
     failures += check_pipeline_against_facade(args.pipeline_ceiling)
     if failures:
@@ -298,8 +382,8 @@ def main(argv=None) -> int:
         return 1
     print(
         "bench guard ok: kernel speedups, e2e engine overhead, vote-stage "
-        "shuffle wire format, numpy backend speedups and pipeline-runner "
-        "overhead within tolerance"
+        "shuffle wire format, block-store relay volume, numpy backend "
+        "speedups and pipeline-runner overhead within tolerance"
     )
     return 0
 

@@ -243,6 +243,12 @@ def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
             engine_section = dict(spec.get("engine") or {})
             engine_section["fault_policy"] = fault_policy
             spec["engine"] = engine_section
+        if args.block_store is not None:
+            # Like the fault policy, the block store rides in the engine
+            # section; it only takes effect when the engine is enabled.
+            engine_section = dict(spec.get("engine") or {})
+            engine_section["block_store"] = args.block_store
+            spec["engine"] = engine_section
         return spec
     config = _config_from_args(args)
     use_engine = args.engine or bool(args.executor) or args.workers is not None
@@ -252,6 +258,7 @@ def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
         executor=_executor_spec(args),
         kernel_backend=args.kernel_backend,
         fault_policy=_fault_policy_spec(args),
+        block_store=args.block_store,
     )
 
 
@@ -392,6 +399,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="extra attempts per task before the fault policy is "
                           "exhausted (process executor only; default 0 = fail "
                           "fast, like REPRO_FAULT_POLICY unset)")
+    run.add_argument("--block-store", choices=["driver", "shared-memory", "spill"],
+                     default=None, dest="block_store",
+                     help="how shuffle payloads travel between engine tasks: "
+                          "'driver' relays them through the driver (default), "
+                          "'shared-memory' publishes them as named shared-memory "
+                          "segments exchanged peer-to-peer (spills per block when "
+                          "shm is unavailable), 'spill' uses pickle files")
     run.add_argument("--task-timeout", type=float, default=None, dest="task_timeout",
                      help="per-task timeout in seconds; a hung worker is killed, "
                           "the pool rebuilt and the task retried (process "

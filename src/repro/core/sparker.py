@@ -116,6 +116,11 @@ class SparkER:
         ``REPRO_FAULT_POLICY``.  Only meaningful with an executor spec
         string — pass the policy to the executor's constructor when
         supplying an instance.
+    block_store:
+        How shuffle block payloads travel between map and reduce tasks (a
+        :class:`~repro.engine.shuffle.BlockStore` instance or a spec string:
+        ``"driver"``, ``"shared-memory"``, ``"spill"``); ``None`` consults
+        ``REPRO_BLOCK_STORE``.  Only meaningful with ``use_engine=True``.
     partitioning:
         Optional user-supplied attribute partitioning (supervised mode).
     rules / labeled_pairs / matcher:
@@ -130,6 +135,7 @@ class SparkER:
         executor: object | None = None,
         kernel_backend: str | None = None,
         fault_policy: object | None = None,
+        block_store: object | None = None,
         partitioning: AttributePartitioning | None = None,
         rules: Sequence[MatchingRule] | None = None,
         labeled_pairs: Sequence[tuple[int, int, bool]] | None = None,
@@ -142,6 +148,7 @@ class SparkER:
                 default_parallelism=self.config.parallelism,
                 executor=executor,  # type: ignore[arg-type]
                 fault_policy=fault_policy,
+                block_store=block_store,  # type: ignore[arg-type]
             )
             if use_engine
             else None
@@ -163,6 +170,14 @@ class SparkER:
             self._fault_policy_spec = spec_of() if callable(spec_of) else None
         else:
             self._fault_policy_spec = None
+        # And for the block store: a resolved spec of a peer-to-peer shuffle
+        # run must rebuild the same block exchange.
+        if isinstance(block_store, str):
+            self._block_store_spec: str | None = block_store
+        elif self.engine is not None and block_store is not None:
+            self._block_store_spec = self.engine.block_store.spec()
+        else:
+            self._block_store_spec = None
         self.kernel_backend = kernel_backend
         self.partitioning = partitioning
         self.rules = rules
@@ -179,6 +194,7 @@ class SparkER:
         executor: str | None = None,
         kernel_backend: str | None = None,
         fault_policy: "str | dict | None" = None,
+        block_store: str | None = None,
     ) -> dict[str, object]:
         """The declarative stage-graph spec equivalent to this facade.
 
@@ -273,6 +289,8 @@ class SparkER:
             engine_section["kernel_backend"] = kernel_backend
         if fault_policy is not None:
             engine_section["fault_policy"] = fault_policy
+        if block_store is not None:
+            engine_section["block_store"] = block_store
         return {
             "name": "sparker",
             "engine": engine_section,
@@ -287,6 +305,7 @@ class SparkER:
             executor=self._executor_spec,
             kernel_backend=self.kernel_backend,
             fault_policy=self._fault_policy_spec,
+            block_store=self._block_store_spec,
         )
         return Pipeline.from_spec(spec, engine=self.engine)
 

@@ -19,6 +19,10 @@ contract in pure Python:
   (:class:`~repro.engine.executors.MultiprocessingExecutor`), which ships the
   fused per-partition function chains to workers and merges accumulator /
   metric state back.
+* :mod:`repro.engine.shuffle` implements the two-phase shuffle and its
+  pluggable :class:`~repro.engine.shuffle.BlockStore` layer: payloads relay
+  through the driver (default) or move peer-to-peer via named shared-memory
+  segments / spill files, with the driver brokering only block refs.
 * :mod:`repro.engine.graphx` provides Pregel-style connected components, the
   GraphX primitive SparkER uses for entity clustering.
 
@@ -46,6 +50,13 @@ from repro.engine.faults import (
     resolve_fault_policy,
 )
 from repro.engine.partitioner import HashPartitioner, RangePartitioner
+from repro.engine.shuffle import (
+    BlockStore,
+    DriverBlockStore,
+    SharedMemoryBlockStore,
+    SpillFileBlockStore,
+    resolve_block_store,
+)
 from repro.engine.metrics import TaskMetrics, StageMetrics, JobMetrics
 from repro.engine.graphx import connected_components, pregel_connected_components
 
@@ -65,6 +76,11 @@ __all__ = [
     "resolve_fault_policy",
     "HashPartitioner",
     "RangePartitioner",
+    "BlockStore",
+    "DriverBlockStore",
+    "SharedMemoryBlockStore",
+    "SpillFileBlockStore",
+    "resolve_block_store",
     "TaskMetrics",
     "StageMetrics",
     "JobMetrics",

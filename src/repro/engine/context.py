@@ -15,6 +15,7 @@ from repro.engine.broadcast import Broadcast, new_broadcast
 from repro.engine.executors import Executor, StageResult, resolve_executor
 from repro.engine.rdd import RDD, ParallelCollectionRDD
 from repro.engine.scheduler import Scheduler
+from repro.engine.shuffle import BlockStore, resolve_block_store
 from repro.exceptions import EngineError
 
 T = TypeVar("T")
@@ -47,6 +48,14 @@ class EngineContext:
         Deterministic test-only fault injection (spec string or
         :class:`~repro.engine.faults.FaultInjector`; ``None`` consults
         ``REPRO_FAULT_INJECT``).
+    block_store:
+        How shuffle block payloads travel from map to reduce tasks: a
+        :class:`~repro.engine.shuffle.BlockStore` instance, a spec string
+        (``"driver"``, ``"shared-memory"``, ``"spill"``) or ``None`` to
+        consult the ``REPRO_BLOCK_STORE`` environment variable (default:
+        driver relay).  Like the executor, a store built from a spec string
+        is owned by the context and closed in :meth:`stop`; a
+        caller-supplied instance is shared and left open.
     """
 
     def __init__(
@@ -56,6 +65,7 @@ class EngineContext:
         executor: "Executor | str | None" = None,
         fault_policy: Any = None,
         fault_injector: Any = None,
+        block_store: "BlockStore | str | None" = None,
     ) -> None:
         if default_parallelism <= 0:
             raise EngineError("default_parallelism must be positive")
@@ -66,6 +76,8 @@ class EngineContext:
         self.executor = resolve_executor(
             executor, fault_policy=fault_policy, fault_injector=fault_injector
         )
+        self._owns_block_store = not isinstance(block_store, BlockStore)
+        self.block_store = resolve_block_store(block_store)
         self._broadcasts: dict[int, Broadcast[Any]] = {}
         self._accumulators: dict[int, Accumulator[Any]] = {}
 
@@ -127,6 +139,7 @@ class EngineContext:
             "app_name": self.app_name,
             "default_parallelism": self.default_parallelism,
             "executor": self.executor.name,
+            "block_store": self.block_store.name,
             "jobs": len(self.scheduler.jobs),
             "stages": len(self.scheduler.stages),
             "tasks": self.scheduler.total_tasks,
@@ -135,6 +148,8 @@ class EngineContext:
             "tasks_recovered": self.scheduler.total_recovered,
             "shuffle_records": self.scheduler.total_shuffle_records,
             "shuffle_bytes": self.scheduler.total_shuffle_bytes,
+            "shuffle_relay_bytes": self.scheduler.total_shuffle_relay_bytes,
+            "shuffle_peer_bytes": self.scheduler.total_shuffle_peer_bytes,
             "broadcasts": len(self._broadcasts),
             "accumulators": len(self._accumulators),
         }
@@ -150,7 +165,9 @@ class EngineContext:
         Broadcast values that hold OS-level shared state (e.g. a CSR index
         exported to a :mod:`multiprocessing.shared_memory` segment) expose a
         ``release_shared()`` hook; stopping the context releases them so no
-        ``/dev/shm`` segment outlives the run.
+        ``/dev/shm`` segment outlives the run.  A context-owned block store
+        is closed too, removing spill directories and any shuffle segment
+        stranded by an aborted run.
         """
         for broadcast in self._broadcasts.values():
             value = getattr(broadcast, "_value", None)
@@ -159,6 +176,8 @@ class EngineContext:
                 release()
         if self._owns_executor:
             self.executor.close()
+        if self._owns_block_store:
+            self.block_store.close()
 
     def __enter__(self) -> "EngineContext":
         return self

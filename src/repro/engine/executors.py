@@ -64,6 +64,7 @@ import itertools
 
 from repro.engine import accumulators as _accumulators
 from repro.engine import broadcast as _broadcast
+from repro.engine import sharedmem as _sharedmem
 from repro.engine.faults import (
     FaultInjector,
     FaultPolicy,
@@ -108,6 +109,10 @@ class TaskOutcome:
     ``failures`` record the fault-tolerance history of the partition:
     ``attempts`` counts execution attempts including the final successful
     one, ``failures`` the failed attempts before it (0 on a clean run).
+    ``published_segments`` names the shared-memory shuffle blocks the task
+    published (see :mod:`repro.engine.shuffle`); the driver protects them
+    from the orphan sweep the moment the outcome is collected, so a pool
+    rebuild never unlinks a block a pending reduce task still needs.
     """
 
     partition: list[Any]
@@ -117,6 +122,7 @@ class TaskOutcome:
     broadcast_reads: dict[int, int] = field(default_factory=dict)
     attempts: int = 1
     failures: int = 0
+    published_segments: list[str] = field(default_factory=list)
 
 
 @dataclass
@@ -192,16 +198,30 @@ def _run_remote_task(
     funcs = _load_chain(payload, token)
     baseline = _broadcast.snapshot_access_counts()
     _accumulators.begin_task_capture()
+    _sharedmem.begin_publish_capture()
     try:
         rows: Iterable[Any] = iter(partition)
         for func in funcs:
             rows = func(index, rows)
         data = list(rows)
+    except BaseException:
+        # The task failed after possibly publishing shuffle blocks; nothing
+        # will ever consume them (a retry republishes fresh names), so
+        # unlink them here while this worker still owns them.
+        for name in _sharedmem.end_publish_capture():
+            _sharedmem.unlink_segment(name)
+        raise
     finally:
         updates = _accumulators.end_task_capture()
+    published = _sharedmem.end_publish_capture()
     reads = _broadcast.access_count_delta(baseline)
     return TaskOutcome(
-        data, time.perf_counter() - start, f"pid-{os.getpid()}", updates, reads
+        data,
+        time.perf_counter() - start,
+        f"pid-{os.getpid()}",
+        updates,
+        reads,
+        published_segments=published,
     )
 
 
@@ -231,18 +251,30 @@ def _run_driver_task(payload: bytes, index: int, partition: list[Any]) -> TaskOu
 def _sweep_shared_segments() -> None:
     """Best-effort sweep of orphaned shared-memory segments after a crash.
 
-    The engine layer does not depend on the meta-blocking package; the sweep
-    is imported lazily and any failure is swallowed — leaked segments are a
-    resource concern, never a correctness one.
+    Covers every ``repro-*`` segment family — broadcast CSR buffers and
+    shuffle blocks alike — while honouring the driver's protected set of
+    in-flight shuffle blocks (see :mod:`repro.engine.sharedmem`).  Any
+    failure is swallowed: leaked segments are a resource concern, never a
+    correctness one.
     """
     try:
-        from repro.metablocking.sharedmem import sweep_orphaned_segments
-    except Exception:  # pragma: no cover - optional subsystem
-        return
-    try:
-        sweep_orphaned_segments()
+        _sharedmem.sweep_orphaned_segments()
     except Exception:  # pragma: no cover - defensive
         pass
+
+
+def _release_published(outcomes: Iterable["TaskOutcome | None"]) -> None:
+    """Unlink the shuffle blocks of already-collected outcomes on abort.
+
+    When a stage raises after some tasks succeeded, their published (and by
+    then protected) segments would otherwise outlive the failed shuffle —
+    the driver-side release in ``execute_shuffle`` never sees the refs.
+    """
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        for name in outcome.published_segments:
+            _sharedmem.unlink_segment(name)
 
 
 class MultiprocessingExecutor(Executor):
@@ -430,11 +462,19 @@ class MultiprocessingExecutor(Executor):
                     failure_counts[index] += 1
                     if final_attempt and policy.on_exhausted == "raise":
                         # Unrecoverable: cancel the outstanding futures of
-                        # this wave and surface the original exception.
+                        # this wave, unlink the shuffle blocks of the tasks
+                        # that did succeed (nothing will consume them) and
+                        # surface the original exception.
                         self._discard_pool()
+                        _release_published(outcomes)
                         raise
                     still_pending.append(index)
                 else:
+                    # Shield this task's shuffle blocks from the orphan
+                    # sweep *before* any pool teardown: the publishing
+                    # worker may crash later in the wave, but these blocks
+                    # are already owed to a pending reduce task.
+                    _sharedmem.protect_segments(outcome.published_segments)
                     outcome.attempts = attempt
                     outcome.failures = failure_counts[index]
                     outcomes[index] = outcome
@@ -449,6 +489,7 @@ class MultiprocessingExecutor(Executor):
         label = self.label
         if pending:
             if policy.on_exhausted != "serial-fallback":
+                _release_published(outcomes)
                 raise EngineError(
                     f"stage {name!r}: {len(pending)} task(s) still failing "
                     f"after {policy.max_attempts} attempt(s); last error: "
@@ -469,6 +510,7 @@ class MultiprocessingExecutor(Executor):
             label = f"{self.label}→serial-fallback"
         tasks = [outcome for outcome in outcomes if outcome is not None]
         if len(tasks) != num_tasks:  # pragma: no cover - defensive
+            _release_published(outcomes)
             raise EngineError(f"stage {name!r} lost task outcomes during recovery")
         return StageResult(label, tasks)
 
@@ -498,6 +540,10 @@ class MultiprocessingExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+            # With the workers now reaped, catch any segment a retried or
+            # crashed task stranded mid-publish (pid-alive checks during the
+            # run skip segments of live-but-idle workers).
+            _sweep_shared_segments()
 
     def __repr__(self) -> str:
         return (

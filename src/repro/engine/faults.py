@@ -25,6 +25,32 @@ partition, and only the *final successful* outcome of each partition is
 merged into driver state (accumulators, broadcast read counts), so a killed
 or repeated attempt leaves no trace in the result.
 
+Shared-memory segments and recovery
+-----------------------------------
+A recovered crash must not leak OS resources, and a sweep must not destroy
+state a surviving task still needs.  When the executor tears down a broken
+pool it runs :func:`repro.engine.sharedmem.sweep_orphaned_segments` over
+every engine-owned ``/dev/shm`` segment (``repro-csr-*`` CSR broadcast
+buffers *and* ``repro-shuf-*`` shuffle blocks — the pid embedded in the name
+identifies the creating process):
+
+* segments whose creator is **dead** are unlinked — a crashed worker's
+  half-published shuffle blocks, a killed driver's stale export;
+* segments of **live** processes, the driver's registered own exports, and
+  names in the **protected set** are skipped.  The protected set holds
+  shuffle blocks published by tasks that already *succeeded*: the executor
+  protects them as each task outcome is collected, so a later crash in the
+  same wave can rebuild the pool without sweeping blocks a pending reduce
+  task still needs, even though their creating worker is gone.  The shuffle
+  releases (unprotects + unlinks) every block after its reduce phase.
+
+A failed task *retry* republishes its buckets under fresh segment names
+(per-process sequence numbers are never reused); blocks stranded by the
+failed attempt are unlinked by the worker's own exception handler when the
+worker survives, or by the sweep once it is dead — and the executor sweeps
+once more on :meth:`~repro.engine.executors.MultiprocessingExecutor.close`,
+when all workers have been reaped.
+
 Configuration: pass a :class:`FaultPolicy` (or its spec string/dict) to
 ``MultiprocessingExecutor(fault_policy=...)`` /
 ``EngineContext(fault_policy=...)``, set the ``REPRO_FAULT_POLICY``

@@ -23,6 +23,12 @@ class TaskMetrics:
     exceptions recovered by the executor's fault policy); a clean task has
     ``attempts == 1, failures == 0`` and a *recovered* task has
     ``failures > 0``.
+
+    On shuffle map tasks the total payload volume ``shuffle_write_bytes``
+    is additionally split by *route*: ``shuffle_relay_bytes`` crossed the
+    driver (inline blocks, plus the tiny block refs of the peer stores)
+    while ``shuffle_peer_bytes`` moved worker-to-worker through a
+    shared-memory segment or spill file, bypassing the driver entirely.
     """
 
     stage_id: int
@@ -33,6 +39,8 @@ class TaskMetrics:
     shuffle_write_records: int = 0
     shuffle_read_bytes: int = 0
     shuffle_write_bytes: int = 0
+    shuffle_relay_bytes: int = 0
+    shuffle_peer_bytes: int = 0
     elapsed_seconds: float = 0.0
     worker: str = "driver"
     attempts: int = 1
@@ -98,6 +106,16 @@ class StageMetrics:
         return sum(t.shuffle_write_bytes for t in self.tasks)
 
     @property
+    def total_shuffle_relay_bytes(self) -> int:
+        """Shuffle bytes that crossed the driver (see :class:`TaskMetrics`)."""
+        return sum(t.shuffle_relay_bytes for t in self.tasks)
+
+    @property
+    def total_shuffle_peer_bytes(self) -> int:
+        """Shuffle bytes that moved peer-to-peer, bypassing the driver."""
+        return sum(t.shuffle_peer_bytes for t in self.tasks)
+
+    @property
     def total_attempts(self) -> int:
         """Task execution attempts, including retries (== tasks when clean)."""
         return sum(t.attempts for t in self.tasks)
@@ -154,6 +172,14 @@ class JobMetrics:
     def total_shuffle_bytes(self) -> int:
         return sum(s.total_shuffle_write_bytes for s in self.stages)
 
+    @property
+    def total_shuffle_relay_bytes(self) -> int:
+        return sum(s.total_shuffle_relay_bytes for s in self.stages)
+
+    @property
+    def total_shuffle_peer_bytes(self) -> int:
+        return sum(s.total_shuffle_peer_bytes for s in self.stages)
+
     def summary(self) -> dict[str, float]:
         """Return a flat summary dictionary suitable for benchmark reports."""
         return {
@@ -162,5 +188,7 @@ class JobMetrics:
             "tasks": self.num_tasks,
             "shuffle_records": self.total_shuffle_records,
             "shuffle_bytes": self.total_shuffle_bytes,
+            "shuffle_relay_bytes": self.total_shuffle_relay_bytes,
+            "shuffle_peer_bytes": self.total_shuffle_peer_bytes,
             "max_skew": max((s.skew for s in self.stages), default=0.0),
         }

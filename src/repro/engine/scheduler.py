@@ -70,6 +70,8 @@ class Scheduler:
         shuffle_write_records: int = 0,
         shuffle_read_bytes: int = 0,
         shuffle_write_bytes: int = 0,
+        shuffle_relay_bytes: int = 0,
+        shuffle_peer_bytes: int = 0,
         elapsed_seconds: float = 0.0,
         worker: str = "driver",
         attempts: int = 1,
@@ -85,6 +87,8 @@ class Scheduler:
             shuffle_write_records=shuffle_write_records,
             shuffle_read_bytes=shuffle_read_bytes,
             shuffle_write_bytes=shuffle_write_bytes,
+            shuffle_relay_bytes=shuffle_relay_bytes,
+            shuffle_peer_bytes=shuffle_peer_bytes,
             elapsed_seconds=elapsed_seconds,
             worker=worker,
             attempts=attempts,
@@ -123,6 +127,16 @@ class Scheduler:
         return sum(stage.total_shuffle_write_bytes for stage in self.stages)
 
     @property
+    def total_shuffle_relay_bytes(self) -> int:
+        """Shuffle bytes that crossed the driver (inline payloads + refs)."""
+        return sum(stage.total_shuffle_relay_bytes for stage in self.stages)
+
+    @property
+    def total_shuffle_peer_bytes(self) -> int:
+        """Shuffle bytes that moved peer-to-peer, bypassing the driver."""
+        return sum(stage.total_shuffle_peer_bytes for stage in self.stages)
+
+    @property
     def total_output_records(self) -> int:
         return sum(stage.total_output_records for stage in self.stages)
 
@@ -155,6 +169,8 @@ class Scheduler:
                 "shuffle_write": stage.total_shuffle_write,
                 "shuffle_read_bytes": stage.total_shuffle_read_bytes,
                 "shuffle_write_bytes": stage.total_shuffle_write_bytes,
+                "shuffle_relay_bytes": stage.total_shuffle_relay_bytes,
+                "shuffle_peer_bytes": stage.total_shuffle_peer_bytes,
                 "elapsed_s": round(stage.total_elapsed, 6),
                 "skew": round(stage.skew, 3),
             }

@@ -8,34 +8,93 @@ through the context's :class:`~repro.engine.executors.Executor`:
   :class:`MapSideCombiner` *inside the task* (Spark's map-side combine for
   ``reduceByKey``/``aggregateByKey``), so pre-aggregation happens in the
   worker processes and only combined records cross the shuffle boundary.
-* **reduce side** — one :class:`ShuffleReduceTask` per output partition merges
-  its bucket's chunks across all map outputs (concatenation, per-key reduce,
-  grouping or two-sided cogroup), again inside a worker task.
+  Each non-empty bucket is then **published** to the context's
+  :class:`BlockStore`, which turns it into a tiny :class:`BlockRef`.
+* **reduce side** — one :class:`ShuffleReduceTask` per output partition
+  fetches its bucket's blocks (a :class:`FetchBlocksTask` prefixes the reduce
+  chain) and merges the chunks across all map outputs (concatenation,
+  per-key reduce, grouping or two-sided cogroup), again inside a worker task.
 
-Between the two stages the driver only transposes the shuffle blocks (map
-output ``m``, bucket ``r`` → reduce input ``r``, chunk ``m``) and records the
-communication volume: shuffled records *and* pickled bytes per task, the wire
-format the scalability benchmarks report.
+Between the two stages the driver only transposes the block refs (map output
+``m``, bucket ``r`` → reduce input ``r``, chunk ``m``) and records the
+communication volume: shuffled records *and* pickled bytes per task, split
+into **driver-relayed** and **peer-transferred** bytes (see `Block stores`_).
 
 Every task object in this module is a module-level picklable callable with
 bound arguments (never a closure), so a shuffle whose user functions pickle
 ships to the multiprocessing executor unchanged; the chunk order is fixed
 (side-major, then map-partition order), which keeps the reduce-side merge —
 and therefore every downstream float accumulation — bit-for-bit identical to
-a serial in-driver run.
+a serial in-driver run, whichever block store carries the payloads.
+
+Block stores
+------------
+A :class:`BlockStore` decides *how a bucket's payload travels* from the map
+task that produced it to the reduce task that consumes it:
+
+* :class:`DriverBlockStore` (default) — the payload rides inline in the
+  :class:`BlockRef` itself, through the task outcome, the driver's
+  transpose, and the reduce task's submission: two driver round-trips per
+  record, the engine's historical behaviour.  All shuffle bytes are
+  *driver-relayed*.
+* :class:`SharedMemoryBlockStore` — the map task pickles the bucket into a
+  named ``multiprocessing.shared_memory`` segment and ships only the name
+  and size; the reduce task attaches and deserialises directly, peer to
+  peer.  The driver brokers block *names*, never payload bytes, so the
+  driver-relayed volume collapses to the few dozen bytes of each ref while
+  the payload moves as *peer-transferred* bytes.  Oversized buckets (see
+  ``spill_over_bytes``) and environments without working POSIX shared
+  memory fall back per-block to the spill-file path.
+* :class:`SpillFileBlockStore` — like the shared-memory store, but payloads
+  are pickle files in a run-scoped spill directory.  Slower, but works
+  everywhere a filesystem does; it is also the fallback target above.
+
+Segment naming, ownership and unlink responsibilities
+-----------------------------------------------------
+Shuffle segments are named ``repro-shuf-<pid>-<seq>`` (see
+:func:`repro.engine.sharedmem.make_segment_name`); the pid is the
+*publishing* process — a pool worker under the process executor, the driver
+itself under the serial executor.  Ownership then transfers to the driver:
+
+* a **worker-published** segment is created untracked; its name rides back
+  to the driver on ``TaskOutcome.published_segments``, where the executor
+  immediately adds it to the protected set so a pool rebuild's orphan sweep
+  (:func:`repro.engine.sharedmem.sweep_orphaned_segments`) never unlinks a
+  block that a pending reduce task still needs — even if the worker that
+  created it has since died;
+* a **driver-published** segment is registered in the driver's live-owner
+  set instead, which the sweep also skips;
+* :func:`execute_shuffle` **unlinks every block** (and drops its
+  protection) once the reduce stage has consumed it — success or failure —
+  so no segment or spill file outlives the shuffle that created it;
+  ``BlockStore.close()`` (wired to ``EngineContext.stop()``) and the
+  executor-close sweep are the backstops for blocks stranded by a crash.
+
+Spill files follow the same shape with the spill directory as the unit of
+last resort: blocks are deleted as they are released and the whole run
+directory is removed by ``close()``.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import shutil
+import tempfile
 from collections import defaultdict
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import TYPE_CHECKING, Any
 
+from repro.engine import sharedmem as _segments
 from repro.engine.partitioner import Partitioner
+from repro.exceptions import EngineError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.engine.context import EngineContext
+
+ENV_VAR = "REPRO_BLOCK_STORE"
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
 
 
 def _identity(value: Any) -> Any:
@@ -46,13 +105,306 @@ def _identity(value: Any) -> Any:
 def chunk_bytes(chunk: Sequence[Any]) -> int:
     """Wire size of one shuffle block: the pickled length of its record list.
 
-    This is exactly what the multiprocessing executor ships per block, so the
-    recorded shuffle bytes are the real IPC volume of a process-pool run (and
-    the would-be volume of a serial run).
+    This is exactly what the multiprocessing executor ships per block under
+    the driver store (and what a peer store writes into its segment or spill
+    file), so the recorded shuffle bytes are the real payload volume of a
+    process-pool run whichever path carries it.
     """
-    return len(pickle.dumps(list(chunk), protocol=pickle.HIGHEST_PROTOCOL))
+    return len(pickle.dumps(list(chunk), protocol=_PICKLE_PROTOCOL))
 
 
+# --------------------------------------------------------------------- blocks
+class BlockRef:
+    """Handle to one published shuffle block (one bucket of one map output).
+
+    The ref is what crosses the driver: it carries the record count and
+    payload size for metrics, knows how to :meth:`fetch` the payload back and
+    how to :meth:`release` the underlying storage.  Refs are tiny and
+    picklable; only :class:`InlineBlock` carries the payload itself.
+    """
+
+    __slots__ = ("records", "payload_bytes")
+
+    def __init__(self, records: int, payload_bytes: int) -> None:
+        self.records = records
+        self.payload_bytes = payload_bytes
+
+    def fetch(self) -> list[Any]:
+        """Materialise the block's records (reduce side, exactly once)."""
+        raise NotImplementedError
+
+    def release(self) -> None:
+        """Free the block's backing storage; idempotent, any process."""
+
+    def relay_bytes(self) -> int:
+        """Bytes of this block the *driver* relays (ref size for peer stores)."""
+        return len(pickle.dumps(self, protocol=_PICKLE_PROTOCOL))
+
+    def peer_bytes(self) -> int:
+        """Payload bytes that move peer-to-peer, bypassing the driver."""
+        return self.payload_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(records={self.records}, "
+            f"payload_bytes={self.payload_bytes})"
+        )
+
+
+class InlineBlock(BlockRef):
+    """Driver-relayed block: the payload travels inside the ref itself."""
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: list[Any], records: int, payload_bytes: int) -> None:
+        super().__init__(records, payload_bytes)
+        self.payload = payload
+
+    def fetch(self) -> list[Any]:
+        return self.payload
+
+    def relay_bytes(self) -> int:
+        return self.payload_bytes
+
+    def peer_bytes(self) -> int:
+        return 0
+
+
+class SegmentBlock(BlockRef):
+    """Peer-transferred block living in a named shared-memory segment."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, records: int, payload_bytes: int) -> None:
+        super().__init__(records, payload_bytes)
+        self.name = name
+
+    def fetch(self) -> list[Any]:
+        try:
+            shm = _segments.attach_untracked(self.name)
+        except FileNotFoundError as error:
+            raise EngineError(
+                f"shuffle block segment {self.name!r} is gone — it was "
+                f"unlinked (or its publishing worker swept) before the "
+                f"reduce task could attach"
+            ) from error
+        try:
+            # The segment may be rounded up past the payload; slice exactly.
+            return pickle.loads(bytes(shm.buf[: self.payload_bytes]))
+        finally:
+            _segments.quiet_close(shm)
+
+    def release(self) -> None:
+        _segments.unlink_segment(self.name)
+
+    def __repr__(self) -> str:
+        return (
+            f"SegmentBlock(name={self.name!r}, records={self.records}, "
+            f"payload_bytes={self.payload_bytes})"
+        )
+
+
+class FileBlock(BlockRef):
+    """Peer-transferred block spilled to a pickle file."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str, records: int, payload_bytes: int) -> None:
+        super().__init__(records, payload_bytes)
+        self.path = path
+
+    def fetch(self) -> list[Any]:
+        try:
+            with open(self.path, "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError as error:
+            raise EngineError(
+                f"shuffle spill block {self.path!r} is gone — it was deleted "
+                f"before the reduce task could read it"
+            ) from error
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"FileBlock(path={self.path!r}, records={self.records}, "
+            f"payload_bytes={self.payload_bytes})"
+        )
+
+
+# --------------------------------------------------------------------- stores
+class BlockStore:
+    """Policy for moving shuffle block payloads from map tasks to reducers.
+
+    ``publish`` runs *inside the map task* (a pool worker under the process
+    executor); ``close`` runs in the driver when the owning
+    :class:`~repro.engine.context.EngineContext` stops.  Stores must pickle —
+    they ride to the workers inside the :class:`ShuffleMapTask` — so they
+    hold only plain configuration (paths, thresholds), never open handles.
+    """
+
+    name = "blockstore"
+
+    def publish(self, bucket: Sequence[Any]) -> BlockRef:
+        """Store one non-empty bucket; return the ref the driver transposes."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release run-scoped storage (spill directories, stranded segments)."""
+
+    def spec(self) -> str:
+        """The spec string that reproduces this store (for resolved configs)."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class DriverBlockStore(BlockStore):
+    """Relay every payload through the driver (the historical behaviour).
+
+    The bucket rides inside the :class:`InlineBlock`: worker → driver in the
+    task outcome, driver → reducer in the reduce task's input partition.
+    Simple and dependency-free, but each record is pickled across the driver
+    twice — the scale ceiling the peer stores remove.
+    """
+
+    name = "driver"
+
+    def publish(self, bucket: Sequence[Any]) -> BlockRef:
+        payload = list(bucket)
+        return InlineBlock(payload, len(payload), chunk_bytes(payload))
+
+
+class SpillFileBlockStore(BlockStore):
+    """Publish buckets as pickle files in a run-scoped spill directory.
+
+    The directory is chosen by the driver at construction time and rides in
+    the pickled store, so every worker writes into the same run directory.
+    Blocks are deleted as the shuffle releases them; ``close`` removes the
+    whole directory, catching anything stranded by a crashed attempt.
+    """
+
+    name = "spill"
+
+    def __init__(self, directory: str | None = None) -> None:
+        self.directory = directory or tempfile.mkdtemp(prefix="repro-spill-")
+
+    def publish(self, bucket: Sequence[Any]) -> BlockRef:
+        payload = pickle.dumps(list(bucket), protocol=_PICKLE_PROTOCOL)
+        return self.publish_payload(payload, len(bucket))
+
+    def publish_payload(self, payload: bytes, records: int) -> BlockRef:
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(
+            self.directory,
+            f"block-{os.getpid()}-{next(_segments._segment_ids)}.pkl",
+        )
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        return FileBlock(path, records, len(payload))
+
+    def close(self) -> None:
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __repr__(self) -> str:
+        return f"SpillFileBlockStore(directory={self.directory!r})"
+
+
+class SharedMemoryBlockStore(BlockStore):
+    """Publish buckets as named shared-memory segments, peer to peer.
+
+    Each bucket is pickled once, in the map task, into a fresh
+    ``repro-shuf-*`` segment; the reduce task attaches by name and
+    deserialises directly, so payload bytes never touch the driver.  Buckets
+    larger than ``spill_over_bytes`` — and every bucket when POSIX shared
+    memory is unavailable or exhausted — spill to the companion
+    :class:`SpillFileBlockStore` instead, per block.
+    """
+
+    name = "shared-memory"
+
+    def __init__(
+        self,
+        spill_over_bytes: int | None = None,
+        spill_directory: str | None = None,
+    ) -> None:
+        if spill_over_bytes is not None and spill_over_bytes <= 0:
+            raise EngineError("spill_over_bytes must be positive")
+        self.spill_over_bytes = spill_over_bytes
+        self._spill = SpillFileBlockStore(spill_directory)
+
+    def publish(self, bucket: Sequence[Any]) -> BlockRef:
+        payload = pickle.dumps(list(bucket), protocol=_PICKLE_PROTOCOL)
+        if (
+            self.spill_over_bytes is not None
+            and len(payload) > self.spill_over_bytes
+        ):
+            return self._spill.publish_payload(payload, len(bucket))
+        name = _segments.make_segment_name("shuf")
+        try:
+            shm = _segments.create_untracked(name, max(1, len(payload)))
+        except (OSError, ImportError):
+            # No (or no more) POSIX shared memory here: degrade per block.
+            return self._spill.publish_payload(payload, len(bucket))
+        shm.buf[: len(payload)] = payload
+        # Ownership: inside a worker task the name is captured onto the
+        # outcome (the driver protects it until the reduce consumed it);
+        # published from the driver itself it joins the live-owner set so
+        # the orphan sweep leaves it alone until released.
+        if not _segments.record_published(name):
+            _segments.register_owned(name)
+        _segments.quiet_close(shm)
+        return SegmentBlock(name, len(bucket), len(payload))
+
+    def close(self) -> None:
+        # Unlink any own-pid shuffle segments stranded by an aborted run,
+        # then drop the spill directory.
+        for name in _segments.live_segments("shuf"):
+            _segments.unlink_segment(name)
+        self._spill.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedMemoryBlockStore(spill_over_bytes={self.spill_over_bytes!r}, "
+            f"spill_directory={self._spill.directory!r})"
+        )
+
+
+def resolve_block_store(spec: "BlockStore | str | None" = None) -> BlockStore:
+    """Turn a block-store spec into a :class:`BlockStore` instance.
+
+    ``None`` consults the ``REPRO_BLOCK_STORE`` environment variable and
+    defaults to the driver store.  Strings: ``"driver"`` (inline relay),
+    ``"shared-memory"`` (aliases ``"shm"``, ``"sharedmem"``), ``"spill"``
+    (aliases ``"file"``, ``"spill-file"``).
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_VAR, "").strip() or "driver"
+    if isinstance(spec, BlockStore):
+        return spec
+    if not isinstance(spec, str):
+        raise EngineError(
+            f"block store spec must be a BlockStore or a string, got {spec!r}"
+        )
+    name = spec.strip().lower()
+    if name in ("driver", "inline"):
+        return DriverBlockStore()
+    if name in ("shared-memory", "shared_memory", "sharedmem", "shm"):
+        return SharedMemoryBlockStore()
+    if name in ("spill", "file", "spill-file"):
+        return SpillFileBlockStore()
+    raise EngineError(
+        f"unknown block store {spec!r}; expected 'driver', 'shared-memory' "
+        f"or 'spill'"
+    )
+
+
+# ---------------------------------------------------------------- map & reduce
 class MapSideCombiner:
     """Picklable pre-aggregation policy applied inside each map task.
 
@@ -100,19 +452,27 @@ class ShuffleMapTask:
     order-equivalent to combining the whole partition first and bucketing
     after (a key's bucket never changes), which preserves the historical
     record order exactly.
+
+    With a ``store``, each non-empty bucket is published to it and the task
+    yields the list of :class:`BlockRef` handles (``None`` for empty
+    buckets); without one (direct use, tests) it yields the raw buckets.
     """
 
-    __slots__ = ("partitioner", "combiner")
+    __slots__ = ("partitioner", "combiner", "store")
 
     def __init__(
-        self, partitioner: Partitioner, combiner: MapSideCombiner | None = None
+        self,
+        partitioner: Partitioner,
+        combiner: MapSideCombiner | None = None,
+        store: BlockStore | None = None,
     ) -> None:
         self.partitioner = partitioner
         self.combiner = combiner
+        self.store = store
 
     def __call__(
         self, _index: int, records: Iterator[tuple[Any, Any]]
-    ) -> Iterable[list[list[tuple[Any, Any]]]]:
+    ) -> Iterable[list[Any]]:
         num_partitions = self.partitioner.num_partitions
         partition_of = self.partitioner.partition
         combiner = self.combiner
@@ -130,16 +490,49 @@ class ShuffleMapTask:
                 else:
                     bucket[key] = create(value)
             buckets = [list(bucket.items()) for bucket in combined]
-        yield buckets
+        store = self.store
+        if store is None:
+            yield buckets
+        else:
+            yield [store.publish(bucket) if bucket else None for bucket in buckets]
 
     def __repr__(self) -> str:
-        return f"ShuffleMapTask({self.partitioner!r}, combiner={self.combiner!r})"
+        return (
+            f"ShuffleMapTask({self.partitioner!r}, combiner={self.combiner!r}, "
+            f"store={self.store!r})"
+        )
+
+
+class FetchBlocksTask:
+    """Reduce-side prologue: materialise each routed block ref into its chunk.
+
+    Prefixes the reduce task in the stage chain, so the fetch — a
+    shared-memory attach or spill-file read under the peer stores — runs in
+    the reduce worker, not the driver.  ``tagged`` mirrors the cogroup wire
+    format where each routed entry is ``(side, ref)``.
+    """
+
+    __slots__ = ("tagged",)
+
+    def __init__(self, tagged: bool) -> None:
+        self.tagged = tagged
+
+    def __call__(self, _index: int, refs: Iterator[Any]) -> Iterable[Any]:
+        if self.tagged:
+            for side, ref in refs:
+                yield side, ref.fetch()
+        else:
+            for ref in refs:
+                yield ref.fetch()
+
+    def __repr__(self) -> str:
+        return f"FetchBlocksTask(tagged={self.tagged!r})"
 
 
 class ShuffleReduceTask:
     """Base of the reduce-side merge tasks.
 
-    Runs as a one-function stage chain on the executor; the task's input
+    Runs on the executor behind a :class:`FetchBlocksTask`; the task's input
     partition is the list of shuffle-block chunks routed to this reducer, in
     side-major then map-partition order.
     """
@@ -245,77 +638,102 @@ def execute_shuffle(
     ``sides`` is a list of ``(parent partitions, map-side combiner)`` pairs —
     one entry for a plain shuffle, two for a cogroup.  Both phases dispatch
     through ``context.executor``, so under a process executor the map-side
-    combine and the reduce-side merge run in worker processes (the recorded
-    task metrics carry the worker pids); under the serial executor everything
-    runs in the driver in partition order, byte-identical to the historical
-    in-driver shuffle.  Per-task shuffle records *and* pickled wire bytes are
-    recorded on the scheduler for both phases; measuring bytes costs one
-    ``pickle.dumps`` pass over the shuffled data in the driver (the e2e
-    bench guard tracks this plumbing overhead), which buys an
-    executor-independent, deterministic wire-volume metric.
+    combine, the block publish, the block fetch and the reduce-side merge all
+    run in worker processes (the recorded task metrics carry the worker
+    pids); under the serial executor everything runs in the driver in
+    partition order, byte-identical to the historical in-driver shuffle.
+
+    The driver transposes only :class:`BlockRef` handles between the phases.
+    Per-task metrics record the shuffled records, the total payload bytes
+    (``shuffle_write_bytes`` — a property of the job, identical across
+    executors and stores) and the driver-relayed vs peer-transferred split
+    (``shuffle_relay_bytes`` / ``shuffle_peer_bytes`` — a property of the
+    block store).  Every published block is released — the segment or spill
+    file unlinked and its sweep protection dropped — after the reduce stage,
+    success or failure, so no block outlives the shuffle that made it.
     """
     num_reduce = partitioner.num_partitions
     tagged = len(sides) > 1
+    store = getattr(context, "block_store", None) or _DEFAULT_STORE
     reduce_inputs: list[list[Any]] = [[] for _ in range(num_reduce)]
     read_records = [0] * num_reduce
     read_bytes = [0] * num_reduce
+    published: list[BlockRef] = []
 
-    for side_index, (parent_partitions, combiner) in enumerate(sides):
-        map_task = ShuffleMapTask(partitioner, combiner)
-        side_suffix = f".side{side_index}" if tagged else ""
-        stage_name = f"{name}.map{side_suffix}"
+    try:
+        for side_index, (parent_partitions, combiner) in enumerate(sides):
+            map_task = ShuffleMapTask(partitioner, combiner, store)
+            side_suffix = f".side{side_index}" if tagged else ""
+            stage_name = f"{name}.map{side_suffix}"
+            result = context.executor.run_stage(
+                [map_task], parent_partitions, name=stage_name
+            )
+            context.merge_stage_result(result)
+            stage = context.scheduler.new_stage(stage_name, executor=result.executor)
+            for index, outcome in enumerate(result.tasks):
+                refs = outcome.partition[0]
+                task_records = 0
+                task_bytes = 0
+                task_relay = 0
+                task_peer = 0
+                for reduce_index, ref in enumerate(refs):
+                    if ref is None:
+                        continue
+                    published.append(ref)
+                    task_records += ref.records
+                    task_bytes += ref.payload_bytes
+                    task_relay += ref.relay_bytes()
+                    task_peer += ref.peer_bytes()
+                    read_records[reduce_index] += ref.records
+                    read_bytes[reduce_index] += ref.payload_bytes
+                    reduce_inputs[reduce_index].append(
+                        (side_index, ref) if tagged else ref
+                    )
+                context.scheduler.record_task(
+                    stage,
+                    index,
+                    input_records=len(parent_partitions[index]),
+                    output_records=task_records,
+                    shuffle_write_records=task_records,
+                    shuffle_write_bytes=task_bytes,
+                    shuffle_relay_bytes=task_relay,
+                    shuffle_peer_bytes=task_peer,
+                    elapsed_seconds=outcome.elapsed_seconds,
+                    worker=outcome.worker,
+                    attempts=outcome.attempts,
+                    failures=outcome.failures,
+                )
+
         result = context.executor.run_stage(
-            [map_task], parent_partitions, name=stage_name
+            [FetchBlocksTask(tagged), reduce_task],
+            reduce_inputs,
+            name=f"{name}.reduce",
         )
         context.merge_stage_result(result)
-        stage = context.scheduler.new_stage(stage_name, executor=result.executor)
+        stage = context.scheduler.new_stage(f"{name}.reduce", executor=result.executor)
+        partitions: list[list[Any]] = []
         for index, outcome in enumerate(result.tasks):
-            buckets = outcome.partition[0]
-            task_records = 0
-            task_bytes = 0
-            for reduce_index, bucket in enumerate(buckets):
-                if not bucket:
-                    continue
-                size = chunk_bytes(bucket)
-                task_records += len(bucket)
-                task_bytes += size
-                read_records[reduce_index] += len(bucket)
-                read_bytes[reduce_index] += size
-                reduce_inputs[reduce_index].append(
-                    (side_index, bucket) if tagged else bucket
-                )
+            partition = outcome.partition
+            partitions.append(partition)
             context.scheduler.record_task(
                 stage,
                 index,
-                input_records=len(parent_partitions[index]),
-                output_records=task_records,
-                shuffle_write_records=task_records,
-                shuffle_write_bytes=task_bytes,
+                input_records=read_records[index],
+                output_records=len(partition),
+                shuffle_read_records=read_records[index],
+                shuffle_read_bytes=read_bytes[index],
                 elapsed_seconds=outcome.elapsed_seconds,
                 worker=outcome.worker,
                 attempts=outcome.attempts,
                 failures=outcome.failures,
             )
+        return partitions
+    finally:
+        for ref in published:
+            try:
+                ref.release()
+            except Exception:  # pragma: no cover - release is best-effort
+                pass
 
-    result = context.executor.run_stage(
-        [reduce_task], reduce_inputs, name=f"{name}.reduce"
-    )
-    context.merge_stage_result(result)
-    stage = context.scheduler.new_stage(f"{name}.reduce", executor=result.executor)
-    partitions: list[list[Any]] = []
-    for index, outcome in enumerate(result.tasks):
-        partition = outcome.partition
-        partitions.append(partition)
-        context.scheduler.record_task(
-            stage,
-            index,
-            input_records=read_records[index],
-            output_records=len(partition),
-            shuffle_read_records=read_records[index],
-            shuffle_read_bytes=read_bytes[index],
-            elapsed_seconds=outcome.elapsed_seconds,
-            worker=outcome.worker,
-            attempts=outcome.attempts,
-            failures=outcome.failures,
-        )
-    return partitions
+
+_DEFAULT_STORE = DriverBlockStore()

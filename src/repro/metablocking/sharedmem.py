@@ -7,130 +7,63 @@ arrays per stage.  With the numpy kernel backend the buffers are plain
 one :class:`multiprocessing.shared_memory.SharedMemory` segment and ship only
 the segment *name* plus a field layout.  Workers attach and wrap each field
 as a zero-copy ``np.frombuffer`` view — the index is mapped once per machine,
-not pickled per worker, which is also the groundwork for the shared-memory
-shuffle block store on the roadmap.
+not pickled per worker.
 
-Lifecycle
----------
+The generic segment machinery (naming, resource-tracker-safe attach, quiet
+close, orphan sweep, attachment cache) lives in :mod:`repro.engine.sharedmem`
+and is shared with the shuffle block store; this module keeps only the
+numpy-specific layer: packing named numeric fields into one segment and
+handing out zero-copy views.
+
+Naming, ownership and unlink responsibilities
+---------------------------------------------
+* segments are named ``repro-csr-<pid>-<seq>`` (see
+  :func:`repro.engine.sharedmem.make_segment_name`); the embedded pid is the
+  exporting driver's, which the orphan sweep uses to detect dead owners;
 * the driver exports (``create=True``) and owns the segment; it unlinks it in
   :meth:`SharedIndexBuffers.release` — wired to ``EngineContext.stop()``
   through the index's ``release_shared`` hook — and a ``weakref.finalize``
   backstop unlinks on garbage collection / interpreter exit, so no
   ``/dev/shm`` segment outlives the run;
-* workers attach (``create=False``) and only ever close their mapping; the
-  pool workers share the driver's ``resource_tracker`` (inherited through
-  fork, or handed over by the spawn machinery), so the duplicate attach-side
-  registration dedups in the tracker's name set and the driver's single
-  unlink leaves the tracker clean.
+* workers attach (``create=False``) and only ever close their mapping — they
+  never unlink; the attach is untracked so a worker's resource tracker never
+  claims a name the driver is responsible for unlinking;
+* after a pool crash, :func:`sweep_orphaned_segments` unlinks segments whose
+  owning process is dead or whose own-pid registration was lost.
 """
 
 from __future__ import annotations
 
-import itertools
-import os
 import weakref
 from typing import Any
 
+from repro.engine.sharedmem import (
+    _handles,
+    _live_owned,
+    cache_attachment,
+    cached_attachment,
+    live_segments as _live_engine_segments,
+    make_segment_name,
+    attach_untracked as _attach_untracked,
+    quiet_close as _quiet_close,
+    register_owned,
+    release_segment as _release_segment,
+    sweep_orphaned_segments,
+)
 from repro.exceptions import MetaBlockingError
+
+__all__ = [
+    "SEGMENT_PREFIX",
+    "SharedIndexBuffers",
+    "live_segments",
+    "sweep_orphaned_segments",
+]
+
+SEGMENT_KIND = "csr"
 
 SEGMENT_PREFIX = "repro-csr"
 
-_segment_ids = itertools.count()
-
 _ITEM_SIZE = 8  # both int64 ('q') and float64 ('d') fields
-
-# How many non-owned attachments (beyond the one being attached) a worker
-# keeps mapped; older ones are evicted so a long-lived pool serving many
-# meta-blocking runs never accumulates mappings.
-_KEEP_RECENT_ATTACHMENTS = 2
-
-# Attachment cache, one entry per segment name.  Worker processes serve many
-# stages; re-attaching (and re-mmapping) per stage would churn, and letting
-# an attachment be garbage collected while zero-copy ndarray views are still
-# alive makes ``SharedMemory.__del__`` raise ``BufferError: cannot close
-# exported pointers exist``.  Cached handles live until explicit
-# :meth:`SharedIndexBuffers.release`, eviction by a newer attachment (see
-# ``_KEEP_RECENT_ATTACHMENTS``), or process exit.
-_handles: dict[str, "SharedIndexBuffers"] = {}
-
-# Names of segments exported (and still owned) by this process.  The sweep
-# after a pool crash uses this as the live set: anything in /dev/shm carrying
-# this process's prefix but missing here is an orphan.  Names are registered
-# in :meth:`SharedIndexBuffers.export` and dropped by ``_release_segment``
-# (explicit release or the GC finalizer backstop), so register/unregister is
-# exactly paired with create/unlink.
-_live_owned: set[str] = set()
-
-
-def _attach_untracked(name: str):
-    """Attach to a segment without registering it with the resource tracker.
-
-    Only the exporting driver owns (and unlinks) a segment.  An attaching
-    pool worker that was forked *before* the driver's resource tracker
-    started would otherwise spawn its own tracker, record the name there,
-    and warn about a "leaked" segment at exit — after the driver has long
-    unlinked it.  Python 3.13 exposes this as ``track=False``; on earlier
-    versions the registration hook is stubbed out for the duration of the
-    attach (workers are single-threaded per task, so this is race-free).
-    """
-    from multiprocessing import shared_memory
-
-    try:
-        return shared_memory.SharedMemory(name=name, create=False, track=False)
-    except TypeError:  # Python < 3.13: no track parameter
-        pass
-    from multiprocessing import resource_tracker
-
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
-    try:
-        return shared_memory.SharedMemory(name=name, create=False)
-    finally:
-        resource_tracker.register = original
-
-
-def _quiet_close(shm) -> None:
-    """Close ``shm`` without tripping over live zero-copy views.
-
-    ``SharedMemory.close()`` raises ``BufferError`` while ndarray views built
-    over ``shm.buf`` are alive.  Instead, drop the handle's references and
-    close the file descriptor: the memoryview/mmap pair stays referenced by
-    the views and is unmapped when the last view dies, and the defused
-    ``SharedMemory.__del__`` no-ops instead of spraying ignored exceptions.
-    """
-    try:
-        shm.close()
-        return
-    except BufferError:
-        pass
-    shm._buf = None
-    shm._mmap = None
-    fd = getattr(shm, "_fd", -1)
-    if fd >= 0:
-        try:
-            os.close(fd)
-        except OSError:  # pragma: no cover - already closed
-            pass
-        shm._fd = -1
-
-
-def _release_segment(shm, owner: bool) -> None:
-    """Finalizer body: close the mapping, unlink once if we created it.
-
-    Both steps are idempotent: the run-scoped release, the GC finalizer
-    backstop and the post-crash orphan sweep can race over the same segment,
-    so a mapping already closed or a name already unlinked (by whichever got
-    there first) must be a no-op, never an error.
-    """
-    _handles.pop(shm.name, None)
-    if owner:
-        _live_owned.discard(shm.name)
-    _quiet_close(shm)
-    if owner:
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
 
 
 class SharedIndexBuffers:
@@ -163,7 +96,7 @@ class SharedIndexBuffers:
             length = len(buffer)
             layout[field] = (offset, length, typecode)
             offset += length
-        name = f"{SEGMENT_PREFIX}-{os.getpid()}-{next(_segment_ids)}"
+        name = make_segment_name(SEGMENT_KIND)
         shm = shared_memory.SharedMemory(
             name=name, create=True, size=max(1, offset * _ITEM_SIZE)
         )
@@ -183,14 +116,14 @@ class SharedIndexBuffers:
         # cached strong reference would keep an abandoned export alive and
         # defeat the garbage-collection unlink backstop.  A same-process
         # attach of an owned segment simply maps it a second time.
-        _live_owned.add(name)
+        register_owned(name)
         return cls(shm, layout, owner=True)
 
     @classmethod
     def attach(cls, name: str, layout: dict[str, tuple[int, int, str]]) -> "SharedIndexBuffers":
         """Attach to an exported segment (cached for the process lifetime)."""
-        cached = _handles.get(name)
-        if cached is not None and not cached.released:
+        cached = cached_attachment(name)
+        if cached is not None:
             return cached
         try:
             shm = _attach_untracked(name)
@@ -199,20 +132,8 @@ class SharedIndexBuffers:
                 f"shared CSR index segment {name!r} is gone — was the owning "
                 f"EngineContext stopped while tasks were still running?"
             ) from error
-        # A long-lived pool worker sees one fresh segment per meta-blocking
-        # run; evict earlier attachments so the cache never pins more than a
-        # handful of mappings.  Evicted handles only drop *this* reference —
-        # views handed out earlier keep their mmap alive until they die, and
-        # a same-name re-attach simply maps again.
-        stale = [
-            key
-            for key, handle in _handles.items()
-            if not handle.owner and key != name
-        ]
-        for key in stale[:-_KEEP_RECENT_ATTACHMENTS]:
-            _handles.pop(key).release()
         handle = cls(shm, layout, owner=False)
-        _handles[name] = handle
+        cache_attachment(name, handle)
         return handle
 
     # ------------------------------------------------------------------ views
@@ -249,67 +170,10 @@ class SharedIndexBuffers:
         return f"SharedIndexBuffers(name={self.name!r}, {role}, {state})"
 
 
-def sweep_orphaned_segments() -> list[str]:
-    """Unlink orphaned ``repro-csr`` segments; returns the swept names.
-
-    Called by the multiprocessing executor when it rebuilds a pool after a
-    worker crash.  Two kinds of orphans are swept:
-
-    * segments carrying *this* process's pid prefix that are no longer in the
-      live-owner registry — an export abandoned without release whose
-      finalizer never ran (e.g. state torn by a crashed fork);
-    * segments of a *dead* process — a previous driver killed before its
-      run-scoped release or exit backstop could unlink.
-
-    Segments of other live processes are left alone, so concurrent runs on
-    one machine never sweep each other.  Everything is best-effort and
-    idempotent: a name unlinked by the owner between listing and sweeping is
-    skipped silently.
-    """
-    shm_dir = "/dev/shm"
-    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX platforms
-        return []
-    own_pid = os.getpid()
-    swept: list[str] = []
-    for entry in sorted(os.listdir(shm_dir)):
-        if not entry.startswith(f"{SEGMENT_PREFIX}-"):
-            continue
-        try:
-            pid = int(entry.split("-")[2])
-        except (IndexError, ValueError):  # pragma: no cover - foreign name
-            continue
-        if pid == own_pid:
-            if entry in _live_owned:
-                continue
-        else:
-            try:
-                os.kill(pid, 0)
-            except ProcessLookupError:
-                pass  # owner is dead: the segment is an orphan
-            except PermissionError:  # pragma: no cover - alive, other user
-                continue
-            else:
-                continue  # owner still alive: not ours to sweep
-        try:
-            os.unlink(os.path.join(shm_dir, entry))
-        except FileNotFoundError:  # pragma: no cover - released mid-sweep
-            continue
-        except OSError:  # pragma: no cover - defensive
-            continue
-        swept.append(entry)
-    return swept
-
-
 def live_segments() -> list[str]:
-    """Names of this process's exported segments still present in /dev/shm.
+    """Names of this process's exported CSR segments still in /dev/shm.
 
     Test helper for the no-leak guarantee; returns an empty list on platforms
     without a /dev/shm view of POSIX shared memory.
     """
-    shm_dir = "/dev/shm"
-    if not os.path.isdir(shm_dir):  # pragma: no cover - non-POSIX platforms
-        return []
-    prefix = f"{SEGMENT_PREFIX}-{os.getpid()}-"
-    return sorted(
-        entry for entry in os.listdir(shm_dir) if entry.startswith(prefix)
-    )
+    return _live_engine_segments(SEGMENT_KIND)

@@ -36,7 +36,15 @@ from repro.utils.timers import StageTimings, Timer
 
 _UNSET = object()
 
-_ENGINE_COUNTERS = ("jobs", "stages", "tasks", "shuffle_records", "shuffle_bytes")
+_ENGINE_COUNTERS = (
+    "jobs",
+    "stages",
+    "tasks",
+    "shuffle_records",
+    "shuffle_bytes",
+    "shuffle_relay_bytes",
+    "shuffle_peer_bytes",
+)
 
 # Monotonic counters in EngineContext.metrics_summary() that a per-run view
 # must report as deltas; everything else (e.g. default_parallelism) is a
@@ -287,7 +295,8 @@ class Pipeline:
               "name": "my-pipeline",                    # optional
               "engine": {"enabled": true,               # optional section
                          "parallelism": 4,
-                         "executor": "process:2"},
+                         "executor": "process:2",
+                         "block_store": "shared-memory"},
               "seeds": {"blocks": "blocks"},            # optional extra seeds
               "stages": [
                 {"stage": "token_blocking",
@@ -342,6 +351,11 @@ class Pipeline:
             raise PipelineValidationError(
                 f"engine.fault_policy must be a string or mapping, got {fault_policy!r}"
             )
+        block_store = engine_section.get("block_store")
+        if block_store is not None and not isinstance(block_store, str):
+            raise PipelineValidationError(
+                f"engine.block_store must be a string, got {block_store!r}"
+            )
         owns_engine = False
         if engine is not _UNSET:
             engine_context = engine  # caller-managed (possibly None)
@@ -350,6 +364,7 @@ class Pipeline:
                 default_parallelism=int(engine_section.get("parallelism", 4)),
                 executor=engine_section.get("executor"),
                 fault_policy=fault_policy,
+                block_store=block_store,
             )
             owns_engine = True
         else:

@@ -41,6 +41,14 @@ def test_vote_shuffle_wire_format_within_tolerance_of_baseline():
     assert not failures, "; ".join(failures)
 
 
+def test_blockstore_relay_bytes_within_ceiling_of_baseline():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_guard import check_blockstore_against_baseline
+
+    failures = check_blockstore_against_baseline()
+    assert not failures, "; ".join(failures)
+
+
 def test_numpy_backend_speedup_within_tolerance_of_baseline():
     sys.path.insert(0, str(REPO_ROOT / "scripts"))
     from bench_guard import check_numpy_against_baseline

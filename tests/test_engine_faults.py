@@ -15,6 +15,7 @@ ride along.
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import pytest
@@ -663,6 +664,124 @@ class TestChaosEquivalence:
         blocks = _random_dirty_collection(seed=34)
         _assert_chaos_equivalence(blocks, "js", "rwnp", "numpy")
         assert live_segments() == []
+
+
+# =========================================================================
+# Chaos: peer-to-peer shuffle block stores under injected faults
+# =========================================================================
+class TestBlockStoreChaos:
+    """Worker crashes mid-shuffle with the peer stores: same results, no leaks.
+
+    A map-phase crash republishes fresh segment names on retry; a
+    reduce-phase crash rebuilds the pool while the driver's protected set
+    shields the in-flight blocks from the orphan sweep — either way the
+    reduced output must match the serial driver-store run bit-for-bit and
+    every segment / spill file must be gone afterwards.
+    """
+
+    @pytest.mark.parametrize("store", ["shared-memory", "spill"])
+    def test_mid_shuffle_crash_recovers(self, store):
+        from repro.engine import sharedmem as engine_sharedmem
+
+        executor = MultiprocessingExecutor(
+            max_workers=2,
+            fault_policy=_fast_policy(),
+            fault_injector="crash@shuffle.map:0#1;crash@shuffle.reduce:0#1",
+        )
+        try:
+            serial = EngineContext(4, executor=SerialExecutor())
+            expected = sorted(
+                serial.parallelize(range(40)).keyBy(_is_even).reduceByKey(_add).collect()
+            )
+            with EngineContext(4, executor=executor, block_store=store) as context:
+                spill_dir = getattr(
+                    getattr(context.block_store, "_spill", context.block_store),
+                    "directory",
+                )
+                result = sorted(
+                    context.parallelize(range(40))
+                    .keyBy(_is_even)
+                    .reduceByKey(_add)
+                    .collect()
+                )
+                assert result == expected
+                # Both phases crashed and recovered (pool rebuilt in between).
+                assert context.scheduler.total_recovered >= 2
+        finally:
+            executor.close()
+        assert engine_sharedmem.live_segments("shuf") == []
+        import glob
+
+        assert not glob.glob(f"{spill_dir}/*")
+
+    def test_chaos_metablocking_equivalence_with_shared_memory_store(self):
+        from repro.engine import sharedmem as engine_sharedmem
+
+        blocks = _random_clean_collection(seed=41)
+        sequential = MetaBlocker("cbs", _make_pruning("wnp")).run(blocks)
+        executor = _chaos_executor()
+        try:
+            with EngineContext(
+                4, executor=executor, block_store="shared-memory"
+            ) as context:
+                parallel = ParallelMetaBlocker(
+                    context, "cbs", _make_pruning("wnp")
+                ).run(blocks)
+                assert context.scheduler.total_recovered >= 1
+                assert context.scheduler.total_task_failures >= 1
+        finally:
+            executor.close()
+        assert parallel.retained_edges == sequential.retained_edges
+        assert engine_sharedmem.live_segments("shuf") == []
+
+    def _dead_pid_segment(self):
+        """A ``repro-shuf`` segment whose naming pid belongs to a dead process."""
+        import multiprocessing
+
+        from repro.engine import sharedmem as engine_sharedmem
+
+        worker = multiprocessing.get_context("fork").Process(target=_double, args=(1,))
+        worker.start()
+        worker.join()
+        name = f"repro-shuf-{worker.pid}-0"
+        engine_sharedmem.quiet_close(engine_sharedmem.create_untracked(name, 16))
+        return name
+
+    def test_sweep_unlinks_dead_worker_shuffle_segment(self):
+        from repro.engine import sharedmem as engine_sharedmem
+
+        name = self._dead_pid_segment()
+        swept = engine_sharedmem.sweep_orphaned_segments()
+        assert name in swept
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_protected_segment_survives_sweep_until_released(self):
+        from repro.engine import sharedmem as engine_sharedmem
+
+        name = self._dead_pid_segment()
+        engine_sharedmem.protect_segments([name])
+        try:
+            assert name not in engine_sharedmem.sweep_orphaned_segments()
+            assert os.path.exists(f"/dev/shm/{name}")
+        finally:
+            engine_sharedmem.unlink_segment(name)  # also drops the protection
+        assert name not in engine_sharedmem._protected
+        assert name in engine_sharedmem.sweep_orphaned_segments() or not os.path.exists(
+            f"/dev/shm/{name}"
+        )
+
+    def test_executor_close_sweeps_stranded_worker_segments(self):
+        from repro.engine import sharedmem as engine_sharedmem
+
+        name = self._dead_pid_segment()
+        executor = MultiprocessingExecutor(max_workers=1)
+        try:
+            context = EngineContext(1, executor=executor)
+            context.parallelize([1], 1).map(_double).collect()
+        finally:
+            executor.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        assert name not in engine_sharedmem.live_segments()
 
 
 # =========================================================================

@@ -299,6 +299,86 @@ class TestBackendGridEquivalence:
         assert numpy_ranking == python_ranking
 
 
+class TestBlockStoreGridEquivalence:
+    """Block-store axis: driver vs shared-memory vs spill, bit-for-bit.
+
+    The store only changes *how* bucket payloads travel (inline through the
+    driver, via named shared-memory segments, or via spill files); the
+    pickle round-trip and the fixed chunk order mean the retained edges —
+    float weights included — must equal the driver-relay reference exactly,
+    under both executors, and no segment or spill file may outlive the run.
+    """
+
+    STORES = ["shared-memory", "spill"]
+
+    @pytest.mark.parametrize("store", STORES)
+    @pytest.mark.parametrize("pruning", ["wnp", "rcnp"])
+    @pytest.mark.parametrize("weighting", ["cbs", "ejs"])
+    def test_serial_clean_clean(self, clean_blocks, store, weighting, pruning):
+        reference = ParallelMetaBlocker(
+            EngineContext(4, block_store="driver"),
+            weighting,
+            _make_pruning(pruning),
+            use_entropy=True,
+        ).run(clean_blocks)
+        with EngineContext(4, block_store=store) as context:
+            peer = ParallelMetaBlocker(
+                context, weighting, _make_pruning(pruning), use_entropy=True
+            ).run(clean_blocks)
+        assert peer.retained_edges == reference.retained_edges
+        assert peer.candidate_pairs == reference.candidate_pairs
+
+    @pytest.mark.parametrize("store", STORES)
+    @pytest.mark.parametrize("pruning", ["cnp", "rwnp"])
+    @pytest.mark.parametrize("weighting", ["js", "arcs"])
+    def test_process_dirty(
+        self, dirty_blocks, process_executor, store, weighting, pruning
+    ):
+        reference = ParallelMetaBlocker(
+            EngineContext(4), weighting, _make_pruning(pruning)
+        ).run(dirty_blocks)
+        with EngineContext(
+            4, executor=process_executor, block_store=store
+        ) as context:
+            peer = ParallelMetaBlocker(
+                context, weighting, _make_pruning(pruning)
+            ).run(dirty_blocks)
+        assert peer.retained_edges == reference.retained_edges
+
+    @pytest.mark.parametrize("store", STORES)
+    def test_shuffle_payload_volume_is_store_invariant(
+        self, clean_blocks, process_executor, store
+    ):
+        # shuffle_write_bytes records the bucket payloads, a property of the
+        # job: the rows must match the driver-store run exactly even though
+        # the peer stores relay only refs through the driver.
+        driver_context = EngineContext(4, block_store="driver")
+        ParallelMetaBlocker(driver_context, "cbs", "wnp").run(clean_blocks)
+        with EngineContext(
+            4, executor=process_executor, block_store=store
+        ) as context:
+            ParallelMetaBlocker(context, "cbs", "wnp").run(clean_blocks)
+            rows = _shuffle_rows(context)
+            assert rows == _shuffle_rows(driver_context)
+            summary = context.metrics_summary()
+            assert summary["shuffle_peer_bytes"] == summary["shuffle_bytes"]
+            assert summary["shuffle_relay_bytes"] < summary["shuffle_bytes"]
+
+    def test_no_segments_or_spill_files_leak(self, process_executor):
+        import glob
+
+        from repro.engine import sharedmem as engine_sharedmem
+
+        blocks = _random_clean_collection(seed=303)
+        with EngineContext(
+            4, executor=process_executor, block_store="shared-memory"
+        ) as context:
+            spill_dir = context.block_store._spill.directory
+            ParallelMetaBlocker(context, "cbs", "wnp").run(blocks)
+        assert engine_sharedmem.live_segments("shuf") == []
+        assert not glob.glob(f"{spill_dir}/*")
+
+
 def _shuffle_rows(context):
     """The shuffle-bearing stage_table rows, minus executor/timing noise."""
     return [
