@@ -14,8 +14,14 @@ quantities that determine them:
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import struct
+import subprocess
+import sys
 import time
+from pathlib import Path
 
 import pytest
 from conftest import print_rows
@@ -23,7 +29,11 @@ from conftest import print_rows
 from repro.blocking.filtering import BlockFiltering
 from repro.blocking.purging import BlockPurging
 from repro.blocking.token_blocking import TokenBlocking
-from repro.data.synthetic import SyntheticConfig, generate_abt_buy_like
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_abt_buy_like,
+    generate_scalability_products,
+)
 from repro.engine.context import EngineContext
 from repro.engine.executors import MultiprocessingExecutor
 from repro.metablocking.metablocker import MetaBlocker
@@ -182,6 +192,174 @@ def test_scale_executor_speedup(benchmark, abt_buy_large, weighting, pruning, us
         assert row["speedup"] > 1.5
 
 
+SCALE_SIZES = (10_000, 100_000)
+SCALE_BUFFER_BACKENDS = ("ram", "memmap")
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_metablocking.json"
+
+
+def _max_rss_kb() -> int:
+    """Process-lifetime peak RSS in KB (``ru_maxrss`` is bytes on darwin)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) // 1024 if sys.platform == "darwin" else int(peak)
+
+
+def scale_run(num_entities: int, buffer_backend: str) -> dict:
+    """One out-of-core meta-blocking run on the scalability dataset.
+
+    Streams the retained edges in bounded chunks (no retained-edge dict is
+    ever materialised) and fingerprints them with a SHA-256 over the packed
+    ``(a, b, weight)`` triples in emission order, so ram and memmap runs can
+    be compared bit-for-bit across processes.  Call this in a *fresh*
+    process per configuration: ``ru_maxrss`` is a process-lifetime
+    high-water mark, so two configurations measured in one process would
+    share one meaningless peak.
+    """
+    start = time.perf_counter()
+    dataset = generate_scalability_products(num_entities)
+    blocks = _prepared_blocks(dataset)
+    build_s = time.perf_counter() - start
+
+    meta_blocker = MetaBlocker("cbs", "wnp", buffer_backend=buffer_backend)
+    digest = hashlib.sha256()
+    retained = 0
+    mb_start = time.perf_counter()
+    for chunk in meta_blocker.stream_retained(blocks):
+        for (a, b), weight in chunk:
+            digest.update(struct.pack("<qqd", a, b, weight))
+        retained += len(chunk)
+    metablocking_s = time.perf_counter() - mb_start
+
+    return {
+        "num_entities": num_entities,
+        "buffer_backend": buffer_backend,
+        "profiles": len(dataset.profiles),
+        "blocks": len(blocks),
+        "retained_edges": retained,
+        "checksum": digest.hexdigest()[:16],
+        "build_s": round(build_s, 3),
+        "metablocking_s": round(metablocking_s, 3),
+        "max_rss_kb": _max_rss_kb(),
+    }
+
+
+def run_scale_benchmark(
+    sizes=SCALE_SIZES, buffer_backends=SCALE_BUFFER_BACKENDS
+) -> list[dict]:
+    """Run :func:`scale_run` for every size × buffer backend, one subprocess
+    each, and fold the results into one entry per size.
+
+    The subprocess isolation is what makes ``max_rss_kb`` comparable across
+    backends; the checksum equality check is the out-of-core acceptance
+    criterion (memmap output bit-for-bit identical to ram).
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(repo_root / "src"), str(repo_root / "benchmarks")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    entries: list[dict] = []
+    for num_entities in sizes:
+        per_backend: dict[str, dict] = {}
+        for backend in buffer_backends:
+            completed = subprocess.run(
+                [sys.executable, __file__, "--scale-child", str(num_entities), backend],
+                check=True,
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            per_backend[backend] = json.loads(completed.stdout.splitlines()[-1])
+        checksums = {row["checksum"] for row in per_backend.values()}
+        if len(checksums) != 1:
+            raise AssertionError(
+                f"scale benchmark: buffer backends disagree at {num_entities} "
+                f"entities: { {k: v['checksum'] for k, v in per_backend.items()} }"
+            )
+        reference = per_backend[buffer_backends[0]]
+        entry = {
+            "num_entities": num_entities,
+            "profiles": reference["profiles"],
+            "blocks": reference["blocks"],
+            "retained_edges": reference["retained_edges"],
+            "checksum": reference["checksum"],
+        }
+        for backend, row in per_backend.items():
+            entry[backend] = {
+                "build_s": row["build_s"],
+                "metablocking_s": row["metablocking_s"],
+                "max_rss_kb": row["max_rss_kb"],
+            }
+        if "ram" in per_backend and "memmap" in per_backend:
+            entry["memmap_overhead"] = round(
+                per_backend["memmap"]["metablocking_s"]
+                / max(per_backend["ram"]["metablocking_s"], 1e-9),
+                3,
+            )
+            entry["memmap_rss_ratio"] = round(
+                per_backend["memmap"]["max_rss_kb"]
+                / max(per_backend["ram"]["max_rss_kb"], 1),
+                3,
+            )
+        entries.append(entry)
+    return entries
+
+
+def test_scale_out_of_core_smoke(benchmark):
+    """CI smoke: ram and memmap agree bit-for-bit on a small scalability run.
+
+    The committed 10⁴/10⁵ baselines are regenerated offline with
+    ``python benchmarks/bench_scalability.py``; here a 2 000-entity sweep
+    keeps the subprocess-isolated RSS/equivalence machinery exercised on
+    every benchmark run.
+    """
+    entries = benchmark.pedantic(
+        lambda: run_scale_benchmark(sizes=(2_000,)), rounds=1, iterations=1
+    )
+    print_rows("SCALE out-of-core (2000 entities)", entries)
+    entry = entries[0]
+    assert entry["retained_edges"] > 0
+    assert entry["memmap_overhead"] > 0  # checksum equality already enforced
+
+
+def main(argv=None) -> int:
+    """Regenerate the committed ``scale_entries`` section of the baseline."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale-child",
+        nargs=2,
+        metavar=("NUM_ENTITIES", "BUFFER_BACKEND"),
+        default=None,
+        help="internal: run one configuration and print its JSON row",
+    )
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(SCALE_SIZES))
+    parser.add_argument("--output", type=Path, default=BASELINE_PATH)
+    parser.add_argument(
+        "--dry-run", action="store_true", help="run without writing the baseline file"
+    )
+    args = parser.parse_args(argv)
+
+    if args.scale_child is not None:
+        num_entities, backend = args.scale_child
+        print(json.dumps(scale_run(int(num_entities), backend)))
+        return 0
+
+    entries = run_scale_benchmark(sizes=tuple(args.sizes))
+    print_rows("SCALE out-of-core baseline", entries)
+    if not args.dry_run:
+        payload = (
+            json.loads(args.output.read_text()) if args.output.exists() else {}
+        )
+        payload["scale_entries"] = entries
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"scale baseline written to {args.output}")
+    return 0
+
+
 def test_scale_token_blocking_distributed(benchmark, abt_buy_large):
     """Distributed token blocking produces the same blocks as the local path."""
     local = TokenBlocking().block(abt_buy_large.profiles)
@@ -205,3 +383,7 @@ def test_scale_token_blocking_distributed(benchmark, abt_buy_large):
         ],
     )
     assert blocks.distinct_comparisons() == local.distinct_comparisons()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,8 +1,8 @@
 """Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Six guards, all built on ratios that are largely machine-independent; the
-first five compare against the committed ``BENCH_metablocking.json``
-baseline, the sixth measures both sides fresh:
+Seven guards, all built on ratios that are largely machine-independent; most
+compare against the committed ``BENCH_metablocking.json`` baseline, the
+pipeline guard measures both sides fresh:
 
 * **kernel** — re-runs ``benchmarks/bench_metablocking_kernel.py`` at its
   smallest size and checks the kernel *speedups* (legacy time / kernel
@@ -33,6 +33,11 @@ baseline, the sixth measures both sides fresh:
   ``Pipeline.from_spec`` end-to-end on the same dataset and fails when the
   declarative stage-graph runner costs more than 5 percent over the facade
   (which itself runs through the same stage graph).
+* **out-of-core scale** — checks the committed ``scale_entries`` (the
+  10⁴/10⁵-entity out-of-core runs of ``benchmarks/bench_scalability.py``)
+  for the memmap-vs-ram overhead and peak-RSS ceilings at the largest size,
+  then re-runs the smallest size under both buffer backends in fresh
+  subprocesses and fails on checksum divergence or RSS/overhead regression.
 
 Usage::
 
@@ -335,6 +340,93 @@ def check_blockstore_against_baseline(
     return failures
 
 
+SCALE_OVERHEAD_CEILING = 1.5  # memmap meta-blocking ≤ 1.5× the ram wall-clock
+SCALE_RSS_CEILING = 1.15  # memmap peak RSS ≤ 1.15× the ram peak RSS
+
+
+def check_scale_against_baseline(
+    tolerance: float = 0.25, baseline_path: Path = BASELINE_PATH
+) -> list[str]:
+    """Guard the out-of-core scale baseline; return failure messages.
+
+    Two layers.  Committed-side (no re-run, so the 10⁵-entity run stays
+    offline): at the *largest* committed size the memmap buffer backend must
+    stay within ``SCALE_OVERHEAD_CEILING`` of the ram wall-clock and within
+    ``SCALE_RSS_CEILING`` of the ram peak RSS — the out-of-core index must
+    not cost real time or, absurdly, more memory.  Re-measured (CI-
+    affordable): the *smallest* committed size re-runs under both buffer
+    backends in fresh subprocesses; fails when the retained-edge checksums
+    diverge (bit-for-bit acceptance), when the measured memmap overhead
+    exceeds the ceiling, or when the memmap peak RSS grows beyond
+    ``1 + tolerance`` of its committed value.  Skips when numpy is missing
+    (the memmap backend requires it).
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_scalability import run_scale_benchmark
+
+    from repro.metablocking.backends import numpy_available
+
+    if not numpy_available():
+        print("numpy not importable — skipping the out-of-core scale guard")
+        return []
+    baseline = json.loads(baseline_path.read_text())
+    scale_entries = baseline.get("scale_entries")
+    if not scale_entries:
+        return [
+            "no scale baseline committed — regenerate with "
+            "`python benchmarks/bench_scalability.py`"
+        ]
+    failures: list[str] = []
+    largest = max(scale_entries, key=lambda entry: entry["num_entities"])
+    if largest["memmap_overhead"] > SCALE_OVERHEAD_CEILING:
+        failures.append(
+            f"scale: committed memmap overhead {largest['memmap_overhead']:.2f}x "
+            f"at {largest['num_entities']} entities is above the "
+            f"{SCALE_OVERHEAD_CEILING:.1f}x ceiling"
+        )
+    if largest["memmap_rss_ratio"] > SCALE_RSS_CEILING:
+        failures.append(
+            f"scale: committed memmap peak RSS is "
+            f"{largest['memmap_rss_ratio']:.2f}x the ram peak at "
+            f"{largest['num_entities']} entities (ceiling {SCALE_RSS_CEILING:.2f}x)"
+        )
+
+    smallest = min(scale_entries, key=lambda entry: entry["num_entities"])
+    guard_size = smallest["num_entities"]
+    # run_scale_benchmark raises AssertionError itself when the ram and
+    # memmap checksums diverge — surface that as a guard failure.
+    try:
+        current = run_scale_benchmark(sizes=[guard_size])[0]
+    except AssertionError as error:
+        return failures + [f"scale: {error}"]
+    if current["checksum"] != smallest["checksum"]:
+        failures.append(
+            f"scale: retained-edge checksum at {guard_size} entities changed to "
+            f"{current['checksum']} (committed {smallest['checksum']}) — the "
+            "meta-blocking output drifted; regenerate the baseline if intended"
+        )
+    overhead_ceiling = max(
+        SCALE_OVERHEAD_CEILING, smallest["memmap_overhead"] * (1.0 + tolerance)
+    )
+    if current["memmap_overhead"] > overhead_ceiling:
+        failures.append(
+            f"scale: memmap overhead regressed to "
+            f"{current['memmap_overhead']:.2f}x the ram wall-clock at "
+            f"{guard_size} entities (committed {smallest['memmap_overhead']:.2f}x, "
+            f"ceiling {overhead_ceiling:.2f}x)"
+        )
+    committed_rss = smallest["memmap"]["max_rss_kb"]
+    rss_ceiling = committed_rss * (1.0 + tolerance)
+    measured_rss = current["memmap"]["max_rss_kb"]
+    if measured_rss > rss_ceiling:
+        failures.append(
+            f"scale: memmap peak RSS regressed to {measured_rss} KB at "
+            f"{guard_size} entities (committed {committed_rss} KB, ceiling "
+            f"{rss_ceiling:.0f} KB)"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -367,6 +459,13 @@ def main(argv=None) -> int:
         default=PIPELINE_CEILING,
         help="maximum pipeline-runner/facade wall-clock ratio (default 1.05)",
     )
+    parser.add_argument(
+        "--scale-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional memmap RSS/overhead regression at the "
+        "smallest committed scale size (default 0.25 = 25%%)",
+    )
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     args = parser.parse_args(argv)
 
@@ -376,6 +475,7 @@ def main(argv=None) -> int:
     failures += check_blockstore_against_baseline(args.baseline)
     failures += check_numpy_against_baseline(args.numpy_tolerance, args.baseline)
     failures += check_pipeline_against_facade(args.pipeline_ceiling)
+    failures += check_scale_against_baseline(args.scale_tolerance, args.baseline)
     if failures:
         for failure in failures:
             print(f"BENCH GUARD FAIL — {failure}", file=sys.stderr)
@@ -383,7 +483,8 @@ def main(argv=None) -> int:
     print(
         "bench guard ok: kernel speedups, e2e engine overhead, vote-stage "
         "shuffle wire format, block-store relay volume, numpy backend "
-        "speedups and pipeline-runner overhead within tolerance"
+        "speedups, pipeline-runner overhead and out-of-core scale "
+        "baseline within tolerance"
     )
     return 0
 

@@ -52,6 +52,7 @@ from repro.data.synthetic import (
     generate_abt_buy_like,
     generate_bibliographic,
     generate_dirty_persons,
+    generate_scalability_products,
 )
 from repro.evaluation.report import format_table
 from repro.exceptions import PipelineValidationError, SparkERError
@@ -84,6 +85,9 @@ _SYNTHETIC_GENERATORS = {
     "abt-buy": lambda n, seed: generate_abt_buy_like(SyntheticConfig(num_entities=n, seed=seed)),
     "bibliographic": lambda n, seed: generate_bibliographic(num_entities=n, seed=seed),
     "dirty-persons": lambda n, seed: generate_dirty_persons(num_entities=n, seed=seed),
+    # Scale-proportional vocabularies: block sizes stay bounded as n grows,
+    # so this is the one safe to point at 10^4+ entities (see BENCHMARKS.md).
+    "scalability": lambda n, seed: generate_scalability_products(n, seed=seed),
 }
 
 
@@ -238,6 +242,16 @@ def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
             engine_section = dict(spec.get("engine") or {})
             engine_section["kernel_backend"] = args.kernel_backend
             spec["engine"] = engine_section
+        if args.buffer_backend is not None:
+            # Same treatment for the CSR buffer backend: the sequential
+            # meta-blocker honours it without an engine.
+            engine_section = dict(spec.get("engine") or {})
+            engine_section["buffer_backend"] = args.buffer_backend
+            spec["engine"] = engine_section
+        if args.tmp_dir is not None:
+            engine_section = dict(spec.get("engine") or {})
+            engine_section["tmp_dir"] = args.tmp_dir
+            spec["engine"] = engine_section
         fault_policy = _fault_policy_spec(args)
         if fault_policy is not None:
             engine_section = dict(spec.get("engine") or {})
@@ -257,6 +271,8 @@ def _build_run_spec(args: argparse.Namespace) -> dict[str, object]:
         use_engine=use_engine,
         executor=_executor_spec(args),
         kernel_backend=args.kernel_backend,
+        buffer_backend=args.buffer_backend,
+        tmp_dir=args.tmp_dir,
         fault_policy=_fault_policy_spec(args),
         block_store=args.block_store,
     )
@@ -395,6 +411,17 @@ def build_parser() -> argparse.ArgumentParser:
                           "CSR kernel (bit-for-bit identical output), 'python' "
                           "forces the interpreted kernel, 'auto' (default) picks "
                           "numpy when importable")
+    run.add_argument("--buffer-backend", choices=["ram", "memmap"],
+                     default=None, dest="buffer_backend",
+                     help="where the meta-blocking CSR index buffers live: "
+                          "'ram' (default) keeps them in process memory, "
+                          "'memmap' backs them with a file under --tmp-dir so "
+                          "the OS can page the index out of core "
+                          "(bit-for-bit identical output; requires numpy)")
+    run.add_argument("--tmp-dir", default=None, dest="tmp_dir",
+                     help="root directory for engine temp artifacts (memmap "
+                          "index buffers, shuffle spill files); default: "
+                          "REPRO_TMPDIR or the system temp dir")
     run.add_argument("--task-retries", type=int, default=None, dest="task_retries",
                      help="extra attempts per task before the fault policy is "
                           "exhausted (process executor only; default 0 = fail "

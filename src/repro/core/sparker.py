@@ -134,6 +134,8 @@ class SparkER:
         use_engine: bool = False,
         executor: object | None = None,
         kernel_backend: str | None = None,
+        buffer_backend: str | None = None,
+        tmp_dir: str | None = None,
         fault_policy: object | None = None,
         block_store: object | None = None,
         partitioning: AttributePartitioning | None = None,
@@ -149,6 +151,7 @@ class SparkER:
                 executor=executor,  # type: ignore[arg-type]
                 fault_policy=fault_policy,
                 block_store=block_store,  # type: ignore[arg-type]
+                tmp_dir=tmp_dir,
             )
             if use_engine
             else None
@@ -179,6 +182,8 @@ class SparkER:
         else:
             self._block_store_spec = None
         self.kernel_backend = kernel_backend
+        self.buffer_backend = buffer_backend
+        self.tmp_dir = tmp_dir
         self.partitioning = partitioning
         self.rules = rules
         self.labeled_pairs = labeled_pairs
@@ -193,6 +198,8 @@ class SparkER:
         use_engine: bool = False,
         executor: str | None = None,
         kernel_backend: str | None = None,
+        buffer_backend: str | None = None,
+        tmp_dir: str | None = None,
         fault_policy: "str | dict | None" = None,
         block_store: str | None = None,
     ) -> dict[str, object]:
@@ -287,6 +294,10 @@ class SparkER:
         }
         if kernel_backend is not None:
             engine_section["kernel_backend"] = kernel_backend
+        if buffer_backend is not None:
+            engine_section["buffer_backend"] = buffer_backend
+        if tmp_dir is not None:
+            engine_section["tmp_dir"] = tmp_dir
         if fault_policy is not None:
             engine_section["fault_policy"] = fault_policy
         if block_store is not None:
@@ -304,6 +315,8 @@ class SparkER:
             use_engine=self.engine is not None,
             executor=self._executor_spec,
             kernel_backend=self.kernel_backend,
+            buffer_backend=self.buffer_backend,
+            tmp_dir=self.tmp_dir,
             fault_policy=self._fault_policy_spec,
             block_store=self._block_store_spec,
         )

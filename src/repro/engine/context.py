@@ -56,6 +56,11 @@ class EngineContext:
         driver relay).  Like the executor, a store built from a spec string
         is owned by the context and closed in :meth:`stop`; a
         caller-supplied instance is shared and left open.
+    tmp_dir:
+        Root directory for every on-disk run artifact this context creates —
+        spill block directories and memmap index buffers alike (``None``
+        consults ``REPRO_TMPDIR`` then the platform default; see
+        :mod:`repro.engine.tmpfiles`).
     """
 
     def __init__(
@@ -66,18 +71,20 @@ class EngineContext:
         fault_policy: Any = None,
         fault_injector: Any = None,
         block_store: "BlockStore | str | None" = None,
+        tmp_dir: "str | None" = None,
     ) -> None:
         if default_parallelism <= 0:
             raise EngineError("default_parallelism must be positive")
         self.default_parallelism = default_parallelism
         self.app_name = app_name
+        self.tmp_dir = tmp_dir
         self.scheduler = Scheduler()
         self._owns_executor = not isinstance(executor, Executor)
         self.executor = resolve_executor(
             executor, fault_policy=fault_policy, fault_injector=fault_injector
         )
         self._owns_block_store = not isinstance(block_store, BlockStore)
-        self.block_store = resolve_block_store(block_store)
+        self.block_store = resolve_block_store(block_store, tmp_dir=tmp_dir)
         self._broadcasts: dict[int, Broadcast[Any]] = {}
         self._accumulators: dict[int, Accumulator[Any]] = {}
 
@@ -150,6 +157,7 @@ class EngineContext:
             "shuffle_bytes": self.scheduler.total_shuffle_bytes,
             "shuffle_relay_bytes": self.scheduler.total_shuffle_relay_bytes,
             "shuffle_peer_bytes": self.scheduler.total_shuffle_peer_bytes,
+            "max_rss_bytes": self.scheduler.max_rss_bytes,
             "broadcasts": len(self._broadcasts),
             "accumulators": len(self._accumulators),
         }

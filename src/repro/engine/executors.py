@@ -65,6 +65,7 @@ import itertools
 from repro.engine import accumulators as _accumulators
 from repro.engine import broadcast as _broadcast
 from repro.engine import sharedmem as _sharedmem
+from repro.engine import tmpfiles as _tmpfiles
 from repro.engine.faults import (
     FaultInjector,
     FaultPolicy,
@@ -74,7 +75,24 @@ from repro.engine.faults import (
 )
 from repro.exceptions import EngineError
 
+try:  # pragma: no cover - resource is POSIX-only
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _resource = None  # type: ignore[assignment]
+
 ENV_VAR = "REPRO_ENGINE_EXECUTOR"
+
+
+def _max_rss_bytes() -> int:
+    """Peak resident set size of *this* process, in bytes (0 when unknown).
+
+    ``ru_maxrss`` is a process-lifetime high-water mark: kilobytes on Linux,
+    bytes on macOS.
+    """
+    if _resource is None:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
 
 StageFunc = Callable[[int, Iterator[Any]], Iterable[Any]]
 
@@ -113,6 +131,9 @@ class TaskOutcome:
     published (see :mod:`repro.engine.shuffle`); the driver protects them
     from the orphan sweep the moment the outcome is collected, so a pool
     rebuild never unlinks a block a pending reduce task still needs.
+    ``max_rss_bytes`` is the executing process's peak resident set size
+    (the ``getrusage`` high-water mark) sampled as the task finished — the
+    per-task memory signal the scale bench guard reads.
     """
 
     partition: list[Any]
@@ -123,6 +144,7 @@ class TaskOutcome:
     attempts: int = 1
     failures: int = 0
     published_segments: list[str] = field(default_factory=list)
+    max_rss_bytes: int = 0
 
 
 @dataclass
@@ -181,7 +203,13 @@ class SerialExecutor(Executor):
             for func in funcs:
                 rows = func(index, rows)
             data = list(rows)
-            tasks.append(TaskOutcome(data, time.perf_counter() - start))
+            tasks.append(
+                TaskOutcome(
+                    data,
+                    time.perf_counter() - start,
+                    max_rss_bytes=_max_rss_bytes(),
+                )
+            )
         return StageResult(self.name, tasks)
 
 
@@ -222,6 +250,7 @@ def _run_remote_task(
         updates,
         reads,
         published_segments=published,
+        max_rss_bytes=_max_rss_bytes(),
     )
 
 
@@ -245,7 +274,14 @@ def _run_driver_task(payload: bytes, index: int, partition: list[Any]) -> TaskOu
         data = list(rows)
     finally:
         updates = _accumulators.end_task_capture()
-    return TaskOutcome(data, time.perf_counter() - start, "driver", updates, {})
+    return TaskOutcome(
+        data,
+        time.perf_counter() - start,
+        "driver",
+        updates,
+        {},
+        max_rss_bytes=_max_rss_bytes(),
+    )
 
 
 def _sweep_shared_segments() -> None:
@@ -253,12 +289,18 @@ def _sweep_shared_segments() -> None:
 
     Covers every ``repro-*`` segment family — broadcast CSR buffers and
     shuffle blocks alike — while honouring the driver's protected set of
-    in-flight shuffle blocks (see :mod:`repro.engine.sharedmem`).  Any
+    in-flight shuffle blocks (see :mod:`repro.engine.sharedmem`).  The
+    on-disk artifact families (spill directories, memmap index buffers)
+    are swept in the same breath via :mod:`repro.engine.tmpfiles`.  Any
     failure is swallowed: leaked segments are a resource concern, never a
     correctness one.
     """
     try:
         _sharedmem.sweep_orphaned_segments()
+    except Exception:  # pragma: no cover - defensive
+        pass
+    try:
+        _tmpfiles.sweep_orphaned_artifacts()
     except Exception:  # pragma: no cover - defensive
         pass
 

@@ -29,6 +29,12 @@ class TaskMetrics:
     driver (inline blocks, plus the tiny block refs of the peer stores)
     while ``shuffle_peer_bytes`` moved worker-to-worker through a
     shared-memory segment or spill file, bypassing the driver entirely.
+
+    ``max_rss_bytes`` is the peak resident set size of the process that ran
+    the task, sampled as the task finished (``getrusage`` high-water mark;
+    0 when the platform cannot report it).  It is a *process-lifetime*
+    maximum, not a per-task delta — the figure the out-of-core scale guard
+    compares against its RSS ceiling.
     """
 
     stage_id: int
@@ -45,6 +51,7 @@ class TaskMetrics:
     worker: str = "driver"
     attempts: int = 1
     failures: int = 0
+    max_rss_bytes: int = 0
 
     @property
     def recovered(self) -> bool:
@@ -131,6 +138,11 @@ class StageMetrics:
         return sum(1 for t in self.tasks if t.recovered)
 
     @property
+    def max_rss_bytes(self) -> int:
+        """Largest peak-RSS reported by any task of this stage."""
+        return max((t.max_rss_bytes for t in self.tasks), default=0)
+
+    @property
     def max_task_records(self) -> int:
         """Largest per-task output — the numerator of the skew ratio."""
         if not self.tasks:
@@ -180,6 +192,11 @@ class JobMetrics:
     def total_shuffle_peer_bytes(self) -> int:
         return sum(s.total_shuffle_peer_bytes for s in self.stages)
 
+    @property
+    def max_rss_bytes(self) -> int:
+        """Largest peak-RSS reported by any task of any stage of this job."""
+        return max((s.max_rss_bytes for s in self.stages), default=0)
+
     def summary(self) -> dict[str, float]:
         """Return a flat summary dictionary suitable for benchmark reports."""
         return {
@@ -190,5 +207,6 @@ class JobMetrics:
             "shuffle_bytes": self.total_shuffle_bytes,
             "shuffle_relay_bytes": self.total_shuffle_relay_bytes,
             "shuffle_peer_bytes": self.total_shuffle_peer_bytes,
+            "max_rss_bytes": self.max_rss_bytes,
             "max_skew": max((s.skew for s in self.stages), default=0.0),
         }

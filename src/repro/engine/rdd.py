@@ -179,9 +179,10 @@ class RDD:
                     worker = outcomes[index].worker
                     attempts = outcomes[index].attempts
                     failures = outcomes[index].failures
+                    max_rss = outcomes[index].max_rss_bytes
                 else:
                     task_elapsed, worker = per_task, "driver"
-                    attempts, failures = 1, 0
+                    attempts, failures, max_rss = 1, 0, 0
                 self.context.scheduler.record_task(
                     stage,
                     index,
@@ -190,6 +191,7 @@ class RDD:
                     worker=worker,
                     attempts=attempts,
                     failures=failures,
+                    max_rss_bytes=max_rss,
                 )
             self._materialized = partitions
             self._task_outcomes = None

@@ -76,6 +76,7 @@ class Scheduler:
         worker: str = "driver",
         attempts: int = 1,
         failures: int = 0,
+        max_rss_bytes: int = 0,
     ) -> TaskMetrics:
         """Append a task record to ``stage``."""
         task = TaskMetrics(
@@ -93,6 +94,7 @@ class Scheduler:
             worker=worker,
             attempts=attempts,
             failures=failures,
+            max_rss_bytes=max_rss_bytes,
         )
         stage.tasks.append(task)
         return task
@@ -137,6 +139,11 @@ class Scheduler:
         return sum(stage.total_shuffle_peer_bytes for stage in self.stages)
 
     @property
+    def max_rss_bytes(self) -> int:
+        """Largest peak-RSS reported by any recorded task (driver or worker)."""
+        return max((stage.max_rss_bytes for stage in self.stages), default=0)
+
+    @property
     def total_output_records(self) -> int:
         return sum(stage.total_output_records for stage in self.stages)
 
@@ -172,6 +179,7 @@ class Scheduler:
                 "shuffle_relay_bytes": stage.total_shuffle_relay_bytes,
                 "shuffle_peer_bytes": stage.total_shuffle_peer_bytes,
                 "elapsed_s": round(stage.total_elapsed, 6),
+                "max_rss_bytes": stage.max_rss_bytes,
                 "skew": round(stage.skew, 3),
             }
             for stage in self.stages

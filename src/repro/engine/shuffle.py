@@ -79,13 +79,12 @@ from __future__ import annotations
 
 import os
 import pickle
-import shutil
-import tempfile
 from collections import defaultdict
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from typing import TYPE_CHECKING, Any
 
 from repro.engine import sharedmem as _segments
+from repro.engine import tmpfiles as _tmpfiles
 from repro.engine.partitioner import Partitioner
 from repro.exceptions import EngineError
 
@@ -285,14 +284,22 @@ class SpillFileBlockStore(BlockStore):
 
     The directory is chosen by the driver at construction time and rides in
     the pickled store, so every worker writes into the same run directory.
+    It is a managed pid-stamped artifact under the unified temp root
+    (``tmp_dir`` argument, ``REPRO_TMPDIR``, or the platform default — see
+    :mod:`repro.engine.tmpfiles`), so a crashed driver's directory is
+    reclaimed by the same orphan sweep that covers memmap index buffers.
     Blocks are deleted as the shuffle releases them; ``close`` removes the
     whole directory, catching anything stranded by a crashed attempt.
     """
 
     name = "spill"
 
-    def __init__(self, directory: str | None = None) -> None:
-        self.directory = directory or tempfile.mkdtemp(prefix="repro-spill-")
+    def __init__(
+        self,
+        directory: str | None = None,
+        tmp_dir: str | None = None,
+    ) -> None:
+        self.directory = directory or _tmpfiles.make_artifact_dir("spill", tmp_dir)
 
     def publish(self, bucket: Sequence[Any]) -> BlockRef:
         payload = pickle.dumps(list(bucket), protocol=_PICKLE_PROTOCOL)
@@ -309,7 +316,7 @@ class SpillFileBlockStore(BlockStore):
         return FileBlock(path, records, len(payload))
 
     def close(self) -> None:
-        shutil.rmtree(self.directory, ignore_errors=True)
+        _tmpfiles.discard_artifact(self.directory)
 
     def __repr__(self) -> str:
         return f"SpillFileBlockStore(directory={self.directory!r})"
@@ -332,11 +339,12 @@ class SharedMemoryBlockStore(BlockStore):
         self,
         spill_over_bytes: int | None = None,
         spill_directory: str | None = None,
+        tmp_dir: str | None = None,
     ) -> None:
         if spill_over_bytes is not None and spill_over_bytes <= 0:
             raise EngineError("spill_over_bytes must be positive")
         self.spill_over_bytes = spill_over_bytes
-        self._spill = SpillFileBlockStore(spill_directory)
+        self._spill = SpillFileBlockStore(spill_directory, tmp_dir=tmp_dir)
 
     def publish(self, bucket: Sequence[Any]) -> BlockRef:
         payload = pickle.dumps(list(bucket), protocol=_PICKLE_PROTOCOL)
@@ -375,13 +383,16 @@ class SharedMemoryBlockStore(BlockStore):
         )
 
 
-def resolve_block_store(spec: "BlockStore | str | None" = None) -> BlockStore:
+def resolve_block_store(
+    spec: "BlockStore | str | None" = None, tmp_dir: "str | None" = None
+) -> BlockStore:
     """Turn a block-store spec into a :class:`BlockStore` instance.
 
     ``None`` consults the ``REPRO_BLOCK_STORE`` environment variable and
     defaults to the driver store.  Strings: ``"driver"`` (inline relay),
     ``"shared-memory"`` (aliases ``"shm"``, ``"sharedmem"``), ``"spill"``
-    (aliases ``"file"``, ``"spill-file"``).
+    (aliases ``"file"``, ``"spill-file"``).  ``tmp_dir`` roots any spill
+    directory the resolved store creates (a prebuilt store keeps its own).
     """
     if spec is None:
         spec = os.environ.get(ENV_VAR, "").strip() or "driver"
@@ -395,9 +406,9 @@ def resolve_block_store(spec: "BlockStore | str | None" = None) -> BlockStore:
     if name in ("driver", "inline"):
         return DriverBlockStore()
     if name in ("shared-memory", "shared_memory", "sharedmem", "shm"):
-        return SharedMemoryBlockStore()
+        return SharedMemoryBlockStore(tmp_dir=tmp_dir)
     if name in ("spill", "file", "spill-file"):
-        return SpillFileBlockStore()
+        return SpillFileBlockStore(tmp_dir=tmp_dir)
     raise EngineError(
         f"unknown block store {spec!r}; expected 'driver', 'shared-memory' "
         f"or 'spill'"
@@ -702,6 +713,7 @@ def execute_shuffle(
                     worker=outcome.worker,
                     attempts=outcome.attempts,
                     failures=outcome.failures,
+                    max_rss_bytes=outcome.max_rss_bytes,
                 )
 
         result = context.executor.run_stage(
@@ -726,6 +738,7 @@ def execute_shuffle(
                 worker=outcome.worker,
                 attempts=outcome.attempts,
                 failures=outcome.failures,
+                max_rss_bytes=outcome.max_rss_bytes,
             )
         return partitions
     finally:

@@ -116,6 +116,44 @@ def make_kernel(index) -> "PythonKernel | NumpyKernel":
     return PythonKernel(index)
 
 
+# ------------------------------------------------------------ buffer backends
+BUFFER_ENV_VAR = "REPRO_BUFFER_BACKEND"
+BUFFER_CHOICES = ("ram", "memmap")
+
+
+def resolve_buffer_backend(spec: "str | None" = None) -> str:
+    """Resolve a CSR buffer-backend spec to ``"ram"`` or ``"memmap"``.
+
+    ``None``/empty consults ``REPRO_BUFFER_BACKEND`` and defaults to
+    ``ram``.  ``memmap`` backs the index's offset/entry vectors with a
+    file-backed :class:`numpy.memmap` buffer (see
+    :meth:`~repro.metablocking.index.CSRBlockIndex.from_blocks`), so it
+    requires numpy — requesting it without numpy is an error, mirroring the
+    explicit-``numpy`` kernel rule: silent fallback would hide that the run
+    is *not* out-of-core.
+    """
+    if spec is None or spec == "":
+        spec = os.environ.get(BUFFER_ENV_VAR, "").strip() or "ram"
+    if not isinstance(spec, str):
+        raise MetaBlockingError(
+            f"buffer backend spec must be a string, got {spec!r}"
+        )
+    name = spec.strip().lower()
+    if name == "ram":
+        return "ram"
+    if name == "memmap":
+        if not numpy_available():
+            raise MetaBlockingError(
+                "buffer backend 'memmap' requested but numpy is not "
+                "importable; install numpy or select --buffer-backend ram"
+            )
+        return "memmap"
+    valid = ", ".join(BUFFER_CHOICES)
+    raise MetaBlockingError(
+        f"unknown buffer backend {spec!r}; valid backends: {valid}"
+    )
+
+
 # --------------------------------------------------------------- weight plans
 @dataclass
 class WeightPlan:
@@ -697,29 +735,42 @@ class NumpyKernel:
         pairs, weights = self._pair_records(sweep, keep, plan)
         return list(zip(pairs, weights.tolist()))
 
-    def weight_table(self, plan: WeightPlan) -> "EdgeWeights":
-        """Every edge weight of the graph, as aligned arrays plus the dict."""
+    def weight_arrays(self, plan: WeightPlan) -> "EdgeWeights":
+        """Every edge weight of the graph as aligned dense arrays — no dict.
+
+        The dict-free variant of :meth:`weight_table`: ``mapping`` is
+        ``None`` and ``node_ids`` carries the dense→profile-id vector, so
+        pair tuples can be materialised lazily per chunk.  This is the
+        streaming entry point — the O(E) footprint is three numeric arrays
+        (~16 bytes/edge) instead of a dict of tuples (~200 bytes/edge).
+        """
         sweep = self._plan_sweep(plan)
         keep = sweep.others > sweep.owners
         weights = self._edge_weights(sweep, keep, plan)
-        # The pair tuples are built lazily inside the zip-of-zips: one pass
-        # feeds the dict directly, no intermediate pair list.
-        mapping = dict(
-            zip(
-                zip(
-                    self.node_ids[sweep.owners[keep]].tolist(),
-                    self.node_ids[sweep.others[keep]].tolist(),
-                ),
-                weights.tolist(),
-            )
-        )
         return EdgeWeights(
-            mapping=mapping,
+            mapping=None,
             a=sweep.owners[keep],
             b=sweep.others[keep],
             w=weights,
             num_nodes=self._index.num_nodes,
+            node_ids=self.node_ids,
         )
+
+    def weight_table(self, plan: WeightPlan) -> "EdgeWeights":
+        """Every edge weight of the graph, as aligned arrays plus the dict."""
+        table = self.weight_arrays(plan)
+        # The pair tuples are built lazily inside the zip-of-zips: one pass
+        # feeds the dict directly, no intermediate pair list.
+        table.mapping = dict(
+            zip(
+                zip(
+                    self.node_ids[table.a].tolist(),
+                    self.node_ids[table.b].tolist(),
+                ),
+                table.w.tolist(),
+            )
+        )
+        return table
 
     def degrees(self) -> array:
         """Blocking-graph degree of every node, from the (cached) full sweep.
@@ -742,24 +793,35 @@ class EdgeWeights:
     understands (node-major first-touch insertion order); ``a`` / ``b`` / ``w``
     are aligned ndarrays over *dense* node ids so the pruning fast paths skip
     the dict → array conversion entirely.
+
+    A *streaming* table (built by :meth:`NumpyKernel.weight_arrays`) has
+    ``mapping=None`` and carries the dense→profile-id ``node_ids`` vector
+    instead; consumers materialise python pair tuples chunk by chunk via
+    :func:`iter_retained_chunks`, never all at once.
     """
 
-    mapping: dict
+    mapping: "dict | None"
     a: Any
     b: Any
     w: Any
     num_nodes: int
+    node_ids: Any = None
     _pairs: "list | None" = field(default=None, repr=False)
     _canonical_rank: Any = field(default=None, repr=False)
 
     def __len__(self) -> int:
-        return len(self.mapping)
+        return len(self.mapping) if self.mapping is not None else len(self.a)
 
     @property
     def pairs(self) -> list:
         """The pair tuples aligned with ``w`` (the mapping's key order)."""
         if self._pairs is None:
-            self._pairs = list(self.mapping)
+            if self.mapping is not None:
+                self._pairs = list(self.mapping)
+            else:
+                self._pairs = list(
+                    zip(self.node_ids[self.a].tolist(), self.node_ids[self.b].tolist())
+                )
         return self._pairs
 
     def canonical_rank(self):
@@ -798,13 +860,23 @@ def _sequential_sum(np, values):
     )
 
 
+def _wep_mask(np, table: EdgeWeights):
+    """WEP's boolean retention mask: at or above the global mean weight."""
+    threshold = _sequential_sum(np, table.w) / len(table)
+    return table.w >= threshold
+
+
+def _cep_order(np, table: EdgeWeights, k: int):
+    """CEP's retained edge positions, in ranked ``(-weight, pair)`` order."""
+    return np.lexsort((table.canonical_rank(), -table.w))[:k]
+
+
 def wep_retain(table: EdgeWeights) -> dict:
     """WEP: keep edges at or above the global mean edge weight."""
     np = numpy_or_none()
     if not len(table):
         return {}
-    threshold = _sequential_sum(np, table.w) / len(table)
-    return _retain_by_mask(table, table.w >= threshold)
+    return _retain_by_mask(table, _wep_mask(np, table))
 
 
 def cep_retain(table: EdgeWeights, k: int) -> dict:
@@ -812,7 +884,7 @@ def cep_retain(table: EdgeWeights, k: int) -> dict:
     np = numpy_or_none()
     if not len(table):
         return {}
-    order = np.lexsort((table.canonical_rank(), -table.w))[:k].tolist()
+    order = _cep_order(np, table, k).tolist()
     pairs, weights = table.pairs, table.w.tolist()
     return {pairs[i]: weights[i] for i in order}
 
@@ -832,11 +904,8 @@ def _interleaved_incidence(np, table: EdgeWeights):
     return nodes
 
 
-def wnp_retain(table: EdgeWeights, required: int) -> dict:
-    """WNP: per-node mean threshold; ``required`` endpoint votes retain."""
-    np = numpy_or_none()
-    if not len(table):
-        return {}
+def _wnp_mask(np, table: EdgeWeights, required: int):
+    """WNP's boolean retention mask (per-node mean threshold votes)."""
     nodes = _interleaved_incidence(np, table)
     occurrence_w = np.repeat(table.w, 2)
     sums = np.bincount(nodes, weights=occurrence_w, minlength=table.num_nodes)
@@ -844,15 +913,12 @@ def wnp_retain(table: EdgeWeights, required: int) -> dict:
     thresholds = sums / np.maximum(counts, 1)
     votes = (table.w >= thresholds[table.a]).astype(np.int64)
     votes += table.w >= thresholds[table.b]
-    return _retain_by_mask(table, votes >= required)
+    return votes >= required
 
 
-def cnp_retain(table: EdgeWeights, k: int, required: int) -> dict:
-    """CNP: every node keeps its top-``k`` incident edges (sort, not heaps)."""
-    np = numpy_or_none()
+def _cnp_mask(np, table: EdgeWeights, k: int, required: int):
+    """CNP's boolean retention mask (per-node top-``k`` votes)."""
     m = len(table)
-    if not m:
-        return {}
     # Rank the edges once by (-weight, canonical pair order), then sort the
     # interleaved incidence stream by a single (node, edge position) integer
     # key — stable radix sort, no float arithmetic, exact tie-breaks.
@@ -868,7 +934,23 @@ def cnp_retain(table: EdgeWeights, k: int, required: int) -> dict:
     position_in_node = np.arange(2 * m, dtype=np.int64) - segment_starts[sorted_nodes]
     kept = position_in_node < k
     votes = np.bincount(occurrence_edge[order][kept], minlength=m)
-    return _retain_by_mask(table, votes >= required)
+    return votes >= required
+
+
+def wnp_retain(table: EdgeWeights, required: int) -> dict:
+    """WNP: per-node mean threshold; ``required`` endpoint votes retain."""
+    np = numpy_or_none()
+    if not len(table):
+        return {}
+    return _retain_by_mask(table, _wnp_mask(np, table, required))
+
+
+def cnp_retain(table: EdgeWeights, k: int, required: int) -> dict:
+    """CNP: every node keeps its top-``k`` incident edges (sort, not heaps)."""
+    np = numpy_or_none()
+    if not len(table):
+        return {}
+    return _retain_by_mask(table, _cnp_mask(np, table, k, required))
 
 
 def supports_strategy(strategy) -> bool:
@@ -930,3 +1012,74 @@ def prune_edge_weights(strategy, table: EdgeWeights, index) -> "dict | None":
             k = default_cnp_k(int(sum(index.node_block_count)), index.num_nodes)
         return cnp_retain(table, k, 2 if strategy.reciprocal else 1)
     return wnp_retain(table, 2 if strategy.reciprocal else 1)
+
+
+# ----------------------------------------------------------- streamed pruning
+DEFAULT_CHUNK_EDGES = 65536
+
+
+def retained_positions(strategy, table: EdgeWeights, index):
+    """Retained edge positions of ``table``, in retention order, or ``None``.
+
+    The streaming counterpart of :func:`prune_edge_weights`: instead of a
+    retained-edge dict it returns the *positions* (indices into
+    ``table.a/b/w``) of the retained edges, in the exact order the dict
+    variant inserts them — emission (node-major first-touch) order for
+    WEP/WNP/CNP, ranked ``(-weight, pair)`` order for CEP.  Returns ``None``
+    for custom strategy subclasses, exactly like the dict dispatch; both
+    dispatches share one retention definition (the mask/order helpers), so
+    chunked emission is bit-for-bit the dict's ``items()`` stream.
+    """
+    from repro.metablocking.pruning import (  # import-cycle guard
+        CardinalityEdgePruning,
+        CardinalityNodePruning,
+        WeightedEdgePruning,
+        default_cep_k,
+        default_cnp_k,
+    )
+
+    np = numpy_or_none()
+    if not supports_strategy(strategy):
+        return None
+    if not len(table):
+        return np.empty(0, dtype=np.int64)
+    if type(strategy) is WeightedEdgePruning:
+        return np.flatnonzero(_wep_mask(np, table))
+    if type(strategy) is CardinalityEdgePruning:
+        k = strategy.k
+        if k is None:
+            k = default_cep_k(int(sum(index.node_block_count)))
+        return _cep_order(np, table, k)
+    if isinstance(strategy, CardinalityNodePruning):
+        k = strategy.k
+        if k is None:
+            k = default_cnp_k(int(sum(index.node_block_count)), index.num_nodes)
+        return np.flatnonzero(_cnp_mask(np, table, k, 2 if strategy.reciprocal else 1))
+    return np.flatnonzero(_wnp_mask(np, table, 2 if strategy.reciprocal else 1))
+
+
+def iter_retained_chunks(
+    table: EdgeWeights, positions, chunk_edges: int = DEFAULT_CHUNK_EDGES
+):
+    """Yield the retained edges as bounded lists of ``((a, b), weight)``.
+
+    ``positions`` is a :func:`retained_positions` result; each yielded chunk
+    materialises at most ``chunk_edges`` python records (profile-id pair
+    tuples and float weights — identical objects to the retained dict's
+    ``items()``), so the peak python-object footprint of a consumer that
+    processes chunks as they arrive is O(chunk), not O(retained).
+    """
+    if chunk_edges <= 0:
+        raise MetaBlockingError("chunk_edges must be positive")
+    node_ids = table.node_ids
+    for start in range(0, len(positions), chunk_edges):
+        chunk = positions[start : start + chunk_edges]
+        yield list(
+            zip(
+                zip(
+                    node_ids[table.a[chunk]].tolist(),
+                    node_ids[table.b[chunk]].tolist(),
+                ),
+                table.w[chunk].tolist(),
+            )
+        )

@@ -103,7 +103,9 @@ class BlockingGraph:
 
 
 def build_blocking_graph(
-    blocks: BlockCollection, backend: "str | None" = None
+    blocks: BlockCollection,
+    backend: "str | None" = None,
+    buffer_backend: "str | None" = None,
 ) -> BlockingGraph:
     """Materialise the blocking graph of ``blocks``.
 
@@ -115,10 +117,15 @@ def build_blocking_graph(
     accumulated in ascending block order — both backends fix the same
     accumulation order, so the graph is bit-for-bit identical either way.
     """
-    index = CSRBlockIndex.from_blocks(blocks, backend=backend)
-    return blocking_graph_from_index(
-        index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
+    index = CSRBlockIndex.from_blocks(
+        blocks, backend=backend, buffer_backend=buffer_backend
     )
+    try:
+        return blocking_graph_from_index(
+            index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
+        )
+    finally:
+        index.close()
 
 
 def blocking_graph_from_index(

@@ -34,10 +34,21 @@ Under the numpy backend the index can additionally export its buffers into a
 :class:`multiprocessing.shared_memory` segment (:meth:`export_shared`): the
 pickle then carries only the segment name and layout, so a process pool maps
 the index once per machine instead of deserialising a copy per worker.
+
+Orthogonally to the *kernel* backend, a **buffer backend** decides where the
+numeric vectors live (:func:`~repro.metablocking.backends.resolve_buffer_backend`):
+``ram`` keeps the stdlib :mod:`array` buffers (the historical behaviour) while
+``memmap`` rewrites them into one file-backed :class:`numpy.memmap` buffer
+under the managed temp root (:mod:`repro.engine.tmpfiles`), so the OS can page
+the index in and out and peak RSS no longer has to hold it.  Both kernels read
+either representation through the buffer protocol, so the retained edges are
+bit-for-bit identical across buffer backends; lifecycle mirrors the shared
+segment (explicit :meth:`close`, GC finalizer backstop, dead-pid crash sweep).
 """
 
 from __future__ import annotations
 
+import weakref
 from array import array
 
 from repro.blocking.block import BlockCollection
@@ -83,15 +94,24 @@ class CSRBlockIndex:
         "total_blocks",
         "clean_clean",
         "_backend",
+        "_buffer_backend",
         "_node_of",
         "_kernel",
         "_degrees",
         "_num_edges",
         "_plans",
         "_shared",
+        "_mmap_path",
+        "_mmap_base",
+        "_mmap_finalizer",
+        "__weakref__",
     )
 
-    def __init__(self, backend: "str | None" = None) -> None:
+    def __init__(
+        self,
+        backend: "str | None" = None,
+        buffer_backend: "str | None" = None,
+    ) -> None:
         self.node_ids: list[int] = []
         self.node_block_offsets = array("q", [0])
         self.node_block_entries = array("q")
@@ -107,25 +127,42 @@ class CSRBlockIndex:
         self.total_blocks = 0
         self.clean_clean = False
         self._backend = _backends.resolve_backend_name(backend)
+        self._buffer_backend = _backends.resolve_buffer_backend(buffer_backend)
         self._node_of: dict[int, int] | None = {}
         self._kernel = None
         self._degrees: array | None = None
         self._num_edges: int | None = None
         self._plans: dict = {}
         self._shared = None
+        self._mmap_path: str | None = None
+        self._mmap_base = None
+        self._mmap_finalizer = None
 
     # ------------------------------------------------------------------ build
     @classmethod
     def from_blocks(
-        cls, blocks: BlockCollection, backend: "str | None" = None
+        cls,
+        blocks: BlockCollection,
+        backend: "str | None" = None,
+        buffer_backend: "str | None" = None,
+        tmp_dir: "str | None" = None,
     ) -> "CSRBlockIndex":
         """Build the index from a block collection (one pass over the blocks).
 
         Blocks that induce no comparison are skipped, exactly like the
         sequential graph builder; ``total_blocks`` still counts them because
         ECBS normalises by the raw collection size.
+
+        ``buffer_backend`` selects where the numeric vectors end up
+        (``"ram"`` / ``"memmap"``; ``None`` consults
+        ``REPRO_BUFFER_BACKEND`` then defaults to ram).  Under ``memmap``
+        the built vectors are rewritten into one pid-stamped file under the
+        managed temp root (``tmp_dir`` → ``REPRO_TMPDIR`` → platform
+        default) and the attributes become zero-copy :class:`numpy.memmap`
+        views — same values, same emission order, bit-for-bit identical
+        retained edges.
         """
-        index = cls(backend=backend)
+        index = cls(backend=backend, buffer_backend=buffer_backend)
         index.clean_clean = blocks.clean_clean
         index.total_blocks = len(blocks)
 
@@ -179,7 +216,43 @@ class CSRBlockIndex:
             index.node_block_entries.extend(entries)
             index.node_block_offsets.append(len(index.node_block_entries))
         index.node_block_count = block_counts
+        if index._buffer_backend == "memmap":
+            index._materialise_memmap(tmp_dir)
         return index
+
+    def _materialise_memmap(self, tmp_dir: "str | None" = None) -> None:
+        """Rewrite the numeric vectors into one file-backed memmap buffer.
+
+        All nine :data:`_SHARED_FIELDS` vectors (8-byte items, so layout is
+        trivially aligned) are packed back-to-back into a single
+        ``repro-csrbuf-<pid>-<seq>`` file and the attributes replaced with
+        zero-copy views into it.  ``node_ids`` deliberately stays a plain
+        Python list: pair tuples are built from it, and keeping it native
+        keeps the emitted edges type-identical to the ram backend.  The file
+        is unlinked by :meth:`close` (or a GC finalizer backstop) and by the
+        dead-pid crash sweep of :mod:`repro.engine.tmpfiles`.
+        """
+        np = _backends.numpy_or_none()
+        from repro.engine import tmpfiles as _tmpfiles
+
+        lengths = [len(getattr(self, fld)) for fld, _tc in _SHARED_FIELDS]
+        total_bytes = 8 * sum(lengths)
+        path = _tmpfiles.make_artifact_path("csrbuf", tmp_dir)
+        base = np.memmap(path, dtype=np.uint8, mode="w+", shape=(max(total_bytes, 1),))
+        offset = 0
+        for (fld, typecode), length in zip(_SHARED_FIELDS, lengths):
+            dtype = np.int64 if typecode == "q" else np.float64
+            view = base[offset : offset + 8 * length].view(dtype)
+            if length:
+                view[:] = np.frombuffer(getattr(self, fld), dtype=dtype)
+            setattr(self, fld, view)
+            offset += 8 * length
+        base.flush()
+        self._mmap_path = path
+        self._mmap_base = base
+        self._mmap_finalizer = weakref.finalize(
+            self, _tmpfiles.discard_artifact, path
+        )
 
     # ------------------------------------------------------------- pickling
     def __getstate__(self) -> dict:
@@ -194,11 +267,18 @@ class CSRBlockIndex:
         When the buffers were exported to shared memory the state carries
         only the segment name and field layout — the worker attaches and
         maps, it never deserialises the buffers.
+
+        A memmap-backed index ships its vectors as stdlib arrays again
+        (``array(tc, view.tobytes())`` — bit-identical values): the file is
+        local to the building process, so the receiver holds a private ram
+        copy while ``_buffer_backend`` still records the label.  Process
+        pools avoid this copy entirely via :meth:`export_shared`.
         """
         small = {
             "total_blocks": self.total_blocks,
             "clean_clean": self.clean_clean,
             "_backend": self._backend,
+            "_buffer_backend": self._buffer_backend,
             "_num_edges": self._num_edges,
         }
         if self._shared is not None and not self._shared.released:
@@ -208,14 +288,29 @@ class CSRBlockIndex:
         state = {
             slot: getattr(self, slot)
             for slot in self.__slots__
-            if slot not in ("_kernel", "_plans", "_shared")
+            if slot
+            not in (
+                "_kernel",
+                "_plans",
+                "_shared",
+                "_mmap_path",
+                "_mmap_base",
+                "_mmap_finalizer",
+                "__weakref__",
+            )
         }
+        if self._mmap_base is not None:
+            for fld, typecode in _SHARED_FIELDS:
+                state[fld] = array(typecode, getattr(self, fld).tobytes())
         return state
 
     def __setstate__(self, state: dict) -> None:
         self._kernel = None
         self._plans = {}
         self._shared = None
+        self._mmap_path = None
+        self._mmap_base = None
+        self._mmap_finalizer = None
         if "shared_name" in state:
             self._attach_shared(state)
             return
@@ -238,6 +333,7 @@ class CSRBlockIndex:
         self.total_blocks = state["total_blocks"]
         self.clean_clean = state["clean_clean"]
         self._backend = state["_backend"]
+        self._buffer_backend = state.get("_buffer_backend", "ram")
         self._num_edges = state["_num_edges"]
 
     # -------------------------------------------------------- shared memory
@@ -281,11 +377,38 @@ class CSRBlockIndex:
         if self._shared is not None:
             self._shared.release()
 
+    def close(self) -> None:
+        """Release every OS-level resource the index holds; idempotent.
+
+        Unlinks the exported shared-memory segment (if any) and the
+        memmap buffer file (if the ``memmap`` buffer backend built one).
+        A garbage-collected index discards the memmap file through a
+        :func:`weakref.finalize` backstop, and a crashed process's file is
+        reclaimed by the dead-pid sweep — ``close()`` is simply the prompt
+        path.
+        """
+        self.release_shared()
+        if self._mmap_finalizer is not None:
+            self._mmap_finalizer()
+            self._mmap_finalizer = None
+        self._mmap_base = None
+        self._mmap_path = None
+
     # ------------------------------------------------------------- properties
     @property
     def backend(self) -> str:
         """The resolved kernel backend of this index (``python`` / ``numpy``)."""
         return self._backend
+
+    @property
+    def buffer_backend(self) -> str:
+        """The resolved buffer backend of this index (``ram`` / ``memmap``)."""
+        return self._buffer_backend
+
+    @property
+    def memmap_path(self) -> "str | None":
+        """Path of the file-backed buffer, or ``None`` under the ram backend."""
+        return self._mmap_path
 
     @property
     def node_of(self) -> dict[int, int]:

@@ -66,6 +66,12 @@ class MetaBlocker:
     kernel_backend:
         Kernel backend spec (``"auto"`` / ``"python"`` / ``"numpy"``;
         ``None`` consults ``REPRO_KERNEL_BACKEND``).
+    buffer_backend:
+        Where the CSR index buffers live (``"ram"`` / ``"memmap"``; ``None``
+        consults ``REPRO_BUFFER_BACKEND``).  ``memmap`` backs them with a
+        file under ``tmp_dir`` so the OS can page the index.
+    tmp_dir:
+        Root for the memmap buffer file (``None`` consults ``REPRO_TMPDIR``).
     """
 
     def __init__(
@@ -75,23 +81,78 @@ class MetaBlocker:
         *,
         use_entropy: bool = False,
         kernel_backend: str | None = None,
+        buffer_backend: str | None = None,
+        tmp_dir: str | None = None,
     ) -> None:
         self.weighting = WeightingScheme.parse(weighting)
         self.pruning = make_pruning_strategy(pruning)
         self.use_entropy = use_entropy
         self.kernel_backend = kernel_backend
+        self.buffer_backend = buffer_backend
+        self.tmp_dir = tmp_dir
+
+    def _build_index(self, blocks: BlockCollection) -> CSRBlockIndex:
+        return CSRBlockIndex.from_blocks(
+            blocks,
+            backend=self.kernel_backend,
+            buffer_backend=self.buffer_backend,
+            tmp_dir=self.tmp_dir,
+        )
 
     def run(self, blocks: BlockCollection) -> MetaBlockingResult:
         """Run meta-blocking over ``blocks`` and return the candidate pairs."""
-        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
-        if index.backend == "numpy":
-            result = self._run_vectorised(index)
-            if result is not None:
-                return result
-        graph = blocking_graph_from_index(
-            index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
-        )
-        return self.run_on_graph(graph)
+        index = self._build_index(blocks)
+        try:
+            if index.backend == "numpy":
+                result = self._run_vectorised(index)
+                if result is not None:
+                    return result
+            graph = blocking_graph_from_index(
+                index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
+            )
+            return self.run_on_graph(graph)
+        finally:
+            index.close()
+
+    def stream_retained(
+        self,
+        blocks: BlockCollection,
+        chunk_edges: int = _backends.DEFAULT_CHUNK_EDGES,
+    ):
+        """Yield the retained edges in bounded chunks of ``((a, b), weight)``.
+
+        The streaming counterpart of :meth:`run`: the concatenation of the
+        yielded chunks is exactly ``run(blocks).retained_edges.items()`` —
+        same edges, same floats, same order.  On the numpy kernel backend
+        with a stock pruning strategy no retained-edge dict is ever built:
+        the O(E) residual is three dense numeric arrays (and, under the
+        ``memmap`` buffer backend, the index pages from disk), so the peak
+        python-object footprint is O(chunk).  Custom strategies and the
+        interpreted backend fall back to a full :meth:`run` and chunk its
+        dict — correct, but not out-of-core.
+        """
+        index = self._build_index(blocks)
+        try:
+            if index.backend == "numpy" and _backends.supports_strategy(self.pruning):
+                if index.num_nodes == 0:
+                    return
+                plan = index.weight_plan(self.weighting, self.use_entropy)
+                table = index.kernel().weight_arrays(plan)
+                positions = _backends.retained_positions(self.pruning, table, index)
+                if positions is not None:
+                    yield from _backends.iter_retained_chunks(
+                        table, positions, chunk_edges
+                    )
+                    return
+            graph = blocking_graph_from_index(
+                index, clean_clean=blocks.clean_clean, num_blocks=len(blocks)
+            )
+            retained = self.run_on_graph(graph).retained_edges
+            items = list(retained.items())
+            for start in range(0, len(items), chunk_edges):
+                yield items[start : start + chunk_edges]
+        finally:
+            index.close()
 
     def _run_vectorised(self, index: CSRBlockIndex) -> "MetaBlockingResult | None":
         """The numpy fast path: kernel weight table + array pruning.

@@ -46,6 +46,7 @@ from repro.blocking.block import BlockCollection
 from repro.engine.context import EngineContext
 from repro.engine.executors import MultiprocessingExecutor
 from repro.exceptions import MetaBlockingError
+from repro.metablocking import backends as _backends
 from repro.metablocking.graph import EdgeInfo
 from repro.metablocking.index import CSRBlockIndex
 from repro.metablocking.metablocker import MetaBlockingResult
@@ -322,6 +323,10 @@ class ParallelMetaBlocker:
         The engine context the jobs run on.
     weighting / pruning / use_entropy:
         Same meaning as for :class:`~repro.metablocking.metablocker.MetaBlocker`.
+    kernel_backend / buffer_backend:
+        Kernel backend and CSR buffer backend specs, also as for
+        :class:`~repro.metablocking.metablocker.MetaBlocker`; the memmap
+        buffer file lands under the context's ``tmp_dir``.
     """
 
     def __init__(
@@ -332,18 +337,26 @@ class ParallelMetaBlocker:
         *,
         use_entropy: bool = False,
         kernel_backend: str | None = None,
+        buffer_backend: str | None = None,
     ) -> None:
         self.context = context
         self.weighting = WeightingScheme.parse(weighting)
         self.pruning = make_pruning_strategy(pruning)
         self.use_entropy = use_entropy
         self.kernel_backend = kernel_backend
+        self.buffer_backend = buffer_backend
 
     # ------------------------------------------------------------------ public
     def run(self, blocks: BlockCollection) -> MetaBlockingResult:
         """Run the parallel meta-blocking over ``blocks``."""
-        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
+        index = CSRBlockIndex.from_blocks(
+            blocks,
+            backend=self.kernel_backend,
+            buffer_backend=self.buffer_backend,
+            tmp_dir=getattr(self.context, "tmp_dir", None),
+        )
         if index.num_nodes == 0:
+            index.close()
             return MetaBlockingResult()
         # Materialise the degree vector driver-side so the broadcast ships the
         # index with degrees precomputed (one kernel sweep, reused everywhere).
@@ -381,13 +394,33 @@ class ParallelMetaBlocker:
 
             num_edges = self._count_edges(node_rdd, broadcast)
         finally:
-            index.release_shared()
+            index.close()
         return MetaBlockingResult(
             candidate_pairs=set(retained),
             retained_edges=retained,
             graph_edges=num_edges,
             graph_nodes=len(node_ids),
         )
+
+    def stream_retained(
+        self,
+        blocks: BlockCollection,
+        chunk_edges: int = _backends.DEFAULT_CHUNK_EDGES,
+    ):
+        """Yield the retained edges in bounded chunks of ``((a, b), weight)``.
+
+        The concatenation of the chunks equals ``run(blocks).retained_edges
+        .items()`` exactly.  The broadcast-join design collects the full
+        weight map on the driver (that O(E) dict is inherent to the
+        structure, as in SparkER's driver-side collect), so this wrapper
+        bounds the *consumer's* footprint, not the driver's — use the
+        sequential :meth:`MetaBlocker.stream_retained` numpy path for a
+        genuinely O(chunk) pipeline.
+        """
+        retained = self.run(blocks).retained_edges
+        items = list(retained.items())
+        for start in range(0, len(items), chunk_edges):
+            yield items[start : start + chunk_edges]
 
     def __call__(self, blocks: BlockCollection) -> MetaBlockingResult:
         return self.run(blocks)
@@ -506,6 +539,8 @@ def make_meta_blocker(
     pruning: "str | PruningStrategy" = "wep",
     use_entropy: bool = False,
     kernel_backend: "str | None" = None,
+    buffer_backend: "str | None" = None,
+    tmp_dir: "str | None" = None,
 ) -> "ParallelMetaBlocker | MetaBlocker":
     """Build the meta-blocker matching the execution substrate.
 
@@ -513,7 +548,9 @@ def make_meta_blocker(
     given, the sequential reference :class:`~repro.metablocking.metablocker.
     MetaBlocker` otherwise — the two are bit-for-bit equivalent, on either
     kernel backend.  Shared by the legacy :class:`repro.core.blocker.Blocker`
-    and the pipeline stage adapter.
+    and the pipeline stage adapter.  ``tmp_dir`` roots the memmap buffer
+    files of the sequential path; the parallel path takes the engine
+    context's ``tmp_dir``.
     """
     from repro.metablocking.metablocker import MetaBlocker
 
@@ -524,10 +561,13 @@ def make_meta_blocker(
             pruning=pruning,
             use_entropy=use_entropy,
             kernel_backend=kernel_backend,
+            buffer_backend=buffer_backend,
         )
     return MetaBlocker(
         weighting=weighting,
         pruning=pruning,
         use_entropy=use_entropy,
         kernel_backend=kernel_backend,
+        buffer_backend=buffer_backend,
+        tmp_dir=tmp_dir,
     )

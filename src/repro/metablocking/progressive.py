@@ -79,9 +79,11 @@ class ProgressiveSortedComparisons:
         weighting: str | WeightingScheme = WeightingScheme.CBS,
         *,
         kernel_backend: str | None = None,
+        buffer_backend: str | None = None,
     ) -> None:
         self.weighting = WeightingScheme.parse(weighting)
         self.kernel_backend = kernel_backend
+        self.buffer_backend = buffer_backend
 
     def rank(self, blocks: BlockCollection) -> list[tuple[int, int]]:
         """Return every distinct comparison, best first."""
@@ -94,12 +96,17 @@ class ProgressiveSortedComparisons:
         runs are merged through a heap, so pulling the best *k* comparisons
         costs O(k log n) pops after the weighting sweep — no global sort.
         """
-        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
-        runs = [
-            sorted(edges, key=_edge_rank)
-            for edges in _weighted_edges_by_node(index, self.weighting)
-            if edges
-        ]
+        index = CSRBlockIndex.from_blocks(
+            blocks, backend=self.kernel_backend, buffer_backend=self.buffer_backend
+        )
+        try:
+            runs = [
+                sorted(edges, key=_edge_rank)
+                for edges in _weighted_edges_by_node(index, self.weighting)
+                if edges
+            ]
+        finally:
+            index.close()
         for pair, _weight in heapq.merge(*runs, key=_edge_rank):
             yield pair
 
@@ -112,9 +119,11 @@ class ProgressiveNodeScheduling:
         weighting: str | WeightingScheme = WeightingScheme.CBS,
         *,
         kernel_backend: str | None = None,
+        buffer_backend: str | None = None,
     ) -> None:
         self.weighting = WeightingScheme.parse(weighting)
         self.kernel_backend = kernel_backend
+        self.buffer_backend = buffer_backend
 
     def rank(self, blocks: BlockCollection) -> list[tuple[int, int]]:
         """Return every distinct comparison following the node schedule."""
@@ -122,8 +131,13 @@ class ProgressiveNodeScheduling:
 
     def stream(self, blocks: BlockCollection) -> Iterator[tuple[int, int]]:
         """Iterate the scheduled comparisons lazily, one node at a time."""
-        index = CSRBlockIndex.from_blocks(blocks, backend=self.kernel_backend)
-        per_node = _weighted_edges_by_node(index, self.weighting)
+        index = CSRBlockIndex.from_blocks(
+            blocks, backend=self.kernel_backend, buffer_backend=self.buffer_backend
+        )
+        try:
+            per_node = _weighted_edges_by_node(index, self.weighting)
+        finally:
+            index.close()
 
         # Per-node incident edges, built in edge-emission order (the order the
         # node-priority float sums depend on), then each list sorted exactly

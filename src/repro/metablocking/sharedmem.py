@@ -110,7 +110,12 @@ class SharedIndexBuffers:
                 count=length,
                 offset=start * _ITEM_SIZE,
             )
-            view[:] = np.frombuffer(buffer, dtype=view.dtype)
+            # A memmap-backed index hands ndarray views here; everything else
+            # is a stdlib array reached through the buffer protocol.
+            if isinstance(buffer, np.ndarray):
+                view[:] = buffer
+            else:
+                view[:] = np.frombuffer(buffer, dtype=view.dtype)
             del view  # keep the export handle closable
         # Owner handles are deliberately NOT put in the attachment cache: a
         # cached strong reference would keep an abandoned export alive and

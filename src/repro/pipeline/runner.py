@@ -119,6 +119,10 @@ class PipelineContext:
     # The engine section's kernel backend spec (auto/python/numpy or None);
     # the meta-blocking stages resolve it per run.
     kernel_backend: str | None = None
+    # The engine section's buffer backend spec (ram/memmap or None) and the
+    # temp-file root for memmap index buffers; resolved per stage run.
+    buffer_backend: str | None = None
+    tmp_dir: str | None = None
     _stage_details: dict[str, dict[str, object]] = field(default_factory=dict)
 
     def record(self, stage: str, metrics: dict[str, object]) -> None:
@@ -231,6 +235,8 @@ class Pipeline:
         seeds: Mapping[str, str] | None = None,
         engine_spec: Mapping[str, object] | None = None,
         kernel_backend: str | None = None,
+        buffer_backend: str | None = None,
+        tmp_dir: str | None = None,
     ) -> None:
         self.stages = list(stages)
         if not self.stages:
@@ -243,6 +249,8 @@ class Pipeline:
         self._owns_engine = False
         self._engine_spec = dict(engine_spec) if engine_spec else None
         self.kernel_backend = kernel_backend
+        self.buffer_backend = buffer_backend
+        self.tmp_dir = tmp_dir
         self.validate()
 
     # ------------------------------------------------------------- composition
@@ -356,6 +364,11 @@ class Pipeline:
             raise PipelineValidationError(
                 f"engine.block_store must be a string, got {block_store!r}"
             )
+        tmp_dir = engine_section.get("tmp_dir")
+        if tmp_dir is not None and not isinstance(tmp_dir, str):
+            raise PipelineValidationError(
+                f"engine.tmp_dir must be a string, got {tmp_dir!r}"
+            )
         owns_engine = False
         if engine is not _UNSET:
             engine_context = engine  # caller-managed (possibly None)
@@ -365,6 +378,7 @@ class Pipeline:
                 executor=engine_section.get("executor"),
                 fault_policy=fault_policy,
                 block_store=block_store,
+                tmp_dir=tmp_dir,
             )
             owns_engine = True
         else:
@@ -375,6 +389,11 @@ class Pipeline:
             raise PipelineValidationError(
                 f"engine.kernel_backend must be a string, got {kernel_backend!r}"
             )
+        buffer_backend = engine_section.get("buffer_backend")
+        if buffer_backend is not None and not isinstance(buffer_backend, str):
+            raise PipelineValidationError(
+                f"engine.buffer_backend must be a string, got {buffer_backend!r}"
+            )
         pipeline = cls(
             stages,
             engine=engine_context,  # type: ignore[arg-type]
@@ -382,6 +401,8 @@ class Pipeline:
             seeds=dict(spec.get("seeds") or {}),
             engine_spec=engine_section or None,
             kernel_backend=kernel_backend,
+            buffer_backend=buffer_backend,
+            tmp_dir=tmp_dir,
         )
         pipeline._owns_engine = owns_engine
         return pipeline
@@ -402,6 +423,10 @@ class Pipeline:
                 engine_section["executor"] = self.engine.executor.name
             if self.kernel_backend is not None:
                 engine_section["kernel_backend"] = self.kernel_backend
+            if self.buffer_backend is not None:
+                engine_section["buffer_backend"] = self.buffer_backend
+            if self.tmp_dir is not None:
+                engine_section["tmp_dir"] = self.tmp_dir
         spec: dict[str, object] = {
             "name": self.name,
             "engine": engine_section,
@@ -548,6 +573,8 @@ class Pipeline:
             report=report,
             max_comparisons=profiles.max_comparisons(),
             kernel_backend=self.kernel_backend,
+            buffer_backend=self.buffer_backend,
+            tmp_dir=self.tmp_dir,
         )
 
         stopped = False

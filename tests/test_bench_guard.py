@@ -63,3 +63,11 @@ def test_pipeline_runner_overhead_within_ceiling_of_facade():
 
     failures = check_pipeline_against_facade()
     assert not failures, "; ".join(failures)
+
+
+def test_out_of_core_scale_within_tolerance_of_baseline():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_guard import check_scale_against_baseline
+
+    failures = check_scale_against_baseline(tolerance=0.25)
+    assert not failures, "; ".join(failures)

@@ -71,6 +71,33 @@ class TestScheduler:
         engine.parallelize(data, 4).reduceByKey(lambda a, b: a + b).collect()
         assert engine.scheduler.total_shuffle_records > 0
 
+    def test_engine_records_peak_rss(self, engine):
+        import resource
+
+        engine.parallelize(range(100), 4).map(lambda x: x * 2).collect()
+        stage = engine.scheduler.stages[-1]
+        # getrusage reports a real high-water mark on Linux and macOS; the
+        # per-task samples, the stage/scheduler maxima and the summary all
+        # carry it.
+        expected = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss > 0
+        assert all((task.max_rss_bytes > 0) == expected for task in stage.tasks)
+        assert (stage.max_rss_bytes > 0) == expected
+        assert (engine.scheduler.max_rss_bytes > 0) == expected
+        assert engine.scheduler.max_rss_bytes == max(
+            s.max_rss_bytes for s in engine.scheduler.stages
+        )
+
+    def test_stage_table_reports_max_rss(self, engine):
+        engine.parallelize(range(20), 2).collect()
+        row = engine.scheduler.stage_table()[-1]
+        assert "max_rss_bytes" in row
+        assert row["max_rss_bytes"] == engine.scheduler.stages[-1].max_rss_bytes
+
+    def test_metrics_summary_reports_max_rss(self, engine):
+        engine.parallelize(range(20), 2).count()
+        summary = engine.metrics_summary()
+        assert summary["max_rss_bytes"] == engine.scheduler.max_rss_bytes
+
     def test_more_partitions_more_tasks(self):
         from repro.engine.context import EngineContext
 
