@@ -1,6 +1,6 @@
 """Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Seven guards, all built on ratios that are largely machine-independent; most
+Eight guards, all built on ratios that are largely machine-independent; most
 compare against the committed ``BENCH_metablocking.json`` baseline, the
 pipeline guard measures both sides fresh:
 
@@ -33,6 +33,11 @@ pipeline guard measures both sides fresh:
   ``Pipeline.from_spec`` end-to-end on the same dataset and fails when the
   declarative stage-graph runner costs more than 5 percent over the facade
   (which itself runs through the same stage graph).
+* **ER service** — checks the committed ``service_entries`` (ingest
+  throughput and budgeted query latency of the long-lived service at up to
+  10⁴ entities): the warm-query/cold-sweep speedup must stay above a hard
+  floor at every committed size, and a fresh re-run at the smallest size
+  must hold the committed ingest throughput within tolerance.
 * **out-of-core scale** — checks the committed ``scale_entries`` (the
   10⁴/10⁵-entity out-of-core runs of ``benchmarks/bench_scalability.py``)
   for the memmap-vs-ram overhead and peak-RSS ceilings at the largest size,
@@ -427,6 +432,73 @@ def check_scale_against_baseline(
     return failures
 
 
+SERVICE_WARM_SPEEDUP_FLOOR = 20.0
+SERVICE_INGEST_FLOOR = 1_000.0  # profiles/s — an order below any sane run
+
+
+def check_service_against_baseline(
+    tolerance: float = 0.5, baseline_path: Path = BASELINE_PATH
+) -> list[str]:
+    """Guard the ER-service ingest/query baseline; return failure messages.
+
+    Committed-side (no re-run, covers the 10⁴-entity entry): the cached
+    progressive prefix must keep warm budgeted queries at least
+    ``SERVICE_WARM_SPEEDUP_FLOOR`` times cheaper than the cold ranking
+    sweep at every committed size — that ratio is machine-independent and
+    collapsing it means the prefix cache stopped working.  Re-measured
+    (CI-affordable): the smallest committed size re-runs fresh; fails when
+    ingest throughput drops below ``1 - tolerance`` of the committed
+    profiles/s (or below the absolute ``SERVICE_INGEST_FLOOR``), or when
+    the warm-query speedup falls below the floor.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_service import run_service_benchmark
+
+    baseline = json.loads(baseline_path.read_text())
+    service_entries = baseline.get("service_entries")
+    if not service_entries:
+        return [
+            "no service baseline committed — regenerate with "
+            "`python benchmarks/bench_service.py`"
+        ]
+    failures: list[str] = []
+    for entry in service_entries:
+        if entry["cold_over_warm"] < SERVICE_WARM_SPEEDUP_FLOOR:
+            failures.append(
+                f"service: committed warm-query speedup {entry['cold_over_warm']:.1f}x "
+                f"at {entry['num_entities']} entities is below the "
+                f"{SERVICE_WARM_SPEEDUP_FLOOR:.0f}x floor"
+            )
+
+    smallest = min(service_entries, key=lambda entry: entry["num_entities"])
+    guard_size = smallest["num_entities"]
+    current = run_service_benchmark(sizes=[guard_size])[0]
+    if current["profiles"] != smallest["profiles"]:
+        failures.append(
+            f"service: ingest at {guard_size} entities appended "
+            f"{current['profiles']} profiles (committed {smallest['profiles']}) — "
+            "the served dataset drifted; regenerate the baseline if intended"
+        )
+    throughput_floor = max(
+        SERVICE_INGEST_FLOOR, smallest["profiles_per_s"] * (1.0 - tolerance)
+    )
+    if current["profiles_per_s"] < throughput_floor:
+        failures.append(
+            f"service: ingest throughput regressed to "
+            f"{current['profiles_per_s']:.0f} profiles/s at {guard_size} entities "
+            f"(committed {smallest['profiles_per_s']:.0f}, floor "
+            f"{throughput_floor:.0f})"
+        )
+    if current["cold_over_warm"] < SERVICE_WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"service: warm-query speedup collapsed to "
+            f"{current['cold_over_warm']:.1f}x at {guard_size} entities "
+            f"(floor {SERVICE_WARM_SPEEDUP_FLOOR:.0f}x) — the ranked-prefix "
+            "cache is no longer absorbing repeat queries"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -466,6 +538,13 @@ def main(argv=None) -> int:
         help="allowed fractional memmap RSS/overhead regression at the "
         "smallest committed scale size (default 0.25 = 25%%)",
     )
+    parser.add_argument(
+        "--service-tolerance",
+        type=float,
+        default=0.5,
+        help="allowed fractional service ingest-throughput regression at the "
+        "smallest committed size (default 0.5 = 50%%)",
+    )
     parser.add_argument("--baseline", type=Path, default=BASELINE_PATH)
     args = parser.parse_args(argv)
 
@@ -476,6 +555,7 @@ def main(argv=None) -> int:
     failures += check_numpy_against_baseline(args.numpy_tolerance, args.baseline)
     failures += check_pipeline_against_facade(args.pipeline_ceiling)
     failures += check_scale_against_baseline(args.scale_tolerance, args.baseline)
+    failures += check_service_against_baseline(args.service_tolerance, args.baseline)
     if failures:
         for failure in failures:
             print(f"BENCH GUARD FAIL — {failure}", file=sys.stderr)
@@ -483,8 +563,8 @@ def main(argv=None) -> int:
     print(
         "bench guard ok: kernel speedups, e2e engine overhead, vote-stage "
         "shuffle wire format, block-store relay volume, numpy backend "
-        "speedups, pipeline-runner overhead and out-of-core scale "
-        "baseline within tolerance"
+        "speedups, pipeline-runner overhead, out-of-core scale and "
+        "service ingest/query baselines within tolerance"
     )
     return 0
 

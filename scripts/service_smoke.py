@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""CI smoke driver for the ER service.
+
+Starts ``python -m repro.cli serve`` on an ephemeral port with a dedicated
+temp root, then drives the whole request surface over real HTTP:
+
+1. ``ping`` (the CLI healthcheck helper) must succeed;
+2. ingest two batches into one collection (plus one into a second tenant);
+3. a budgeted match query must honour the budget and return the documented
+   response schema;
+4. a delta-refreshed candidates query must return well-formed weighted pairs;
+5. ``/metrics`` must report the traffic with per-endpoint histograms;
+6. after SIGTERM the server must exit 0 and leave **zero** ``repro-*``
+   artifacts in its temp root.
+
+Exits non-zero with a diagnostic on the first violated expectation.  Runs on
+the no-numpy leg too — the service must not require the vectorised kernel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+
+
+def fail(message: str) -> None:
+    print(f"service smoke FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+def request(port: int, method: str, path: str, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def profile_batch(start: int, count: int) -> dict:
+    words = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"]
+    return {
+        "profiles": [
+            {
+                "id": start + offset,
+                "attributes": {
+                    "name": f"{words[(start + offset) % 6]} {words[(start + offset) % 4]}",
+                    "city": words[(start + offset) % 3],
+                },
+            }
+            for offset in range(count)
+        ]
+    }
+
+
+def main() -> int:
+    tmp_root = tempfile.mkdtemp(prefix="service-smoke-")
+    env = dict(os.environ)
+    env["REPRO_TMPDIR"] = tmp_root
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    port = None
+    try:
+        for _ in range(400):
+            line = server.stdout.readline()
+            if not line:
+                break
+            print(f"server: {line.rstrip()}")
+            if line.startswith("serving on "):
+                port = int(line.strip().rsplit(":", 1)[1])
+                break
+        expect(port is not None, "server never announced its port")
+
+        ping = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "ping", "--port", str(port),
+             "--timeout", "30"],
+            env=env,
+        )
+        expect(ping.returncode == 0, "repro.cli ping reported unhealthy")
+
+        status, first = request(
+            port, "POST", "/collections/smoke/profiles", profile_batch(0, 40)
+        )
+        expect(status == 201, f"first ingest returned {status}: {first}")
+        expect(first["appended"] == 40, f"bad ingest summary: {first}")
+        status, second = request(
+            port, "POST", "/collections/smoke/profiles", profile_batch(40, 20)
+        )
+        expect(status == 201 and second["total_profiles"] == 60,
+               f"second ingest wrong: {second}")
+        status, _other = request(
+            port, "POST", "/collections/tenant2/profiles", profile_batch(0, 5)
+        )
+        expect(status == 201, "second tenant ingest failed")
+
+        budget = 25
+        status, matches = request(
+            port, "GET", f"/collections/smoke/matches/0?budget={budget}"
+        )
+        expect(status == 200, f"match query returned {status}: {matches}")
+        for key in ("profile_id", "budget", "scheduled", "candidates", "matches"):
+            expect(key in matches, f"match response missing {key!r}: {matches}")
+        expect(matches["budget"] == budget, "echoed budget differs")
+        expect(len(matches["candidates"]) <= budget, "budget exceeded")
+        expect(
+            all(isinstance(pair, list) and len(pair) == 2
+                for pair in matches["candidates"]),
+            "candidates are not id pairs",
+        )
+        expect(
+            all(0 in pair for pair in matches["matches"]),
+            "matches contain pairs without the queried profile",
+        )
+
+        status, candidates = request(
+            port, "GET", "/collections/smoke/candidates/0"
+        )
+        expect(status == 200, f"candidates query returned {status}")
+        expect(candidates["refresh_mode"] in ("full", "local"),
+               f"bad refresh mode: {candidates}")
+        for entry in candidates["candidates"]:
+            expect(
+                sorted(entry) == ["pair", "weight"] and 0 in entry["pair"],
+                f"malformed candidate entry: {entry}",
+            )
+
+        status, metrics = request(port, "GET", "/metrics")
+        expect(status == 200, "metrics endpoint failed")
+        expect(metrics["errors"] == 0, f"service recorded errors: {metrics}")
+        expect(set(metrics["collections"]) == {"smoke", "tenant2"},
+               f"wrong tenant listing: {sorted(metrics['collections'])}")
+        endpoint = metrics["endpoints"].get(
+            "GET /collections/{name}/matches/{profile_id}"
+        )
+        expect(bool(endpoint) and endpoint["count"] >= 1,
+               "match endpoint histogram missing")
+        expect(endpoint["p95"] >= endpoint["p50"] >= 0.0,
+               f"non-monotone latency quantiles: {endpoint}")
+    finally:
+        server.send_signal(signal.SIGTERM)
+        remainder = server.stdout.read()
+        returncode = server.wait(timeout=60)
+        if remainder:
+            print(f"server: {remainder.rstrip()}")
+
+    expect(returncode == 0, f"server exited with {returncode}")
+    leaked = [name for name in os.listdir(tmp_root) if name.startswith("repro-")]
+    expect(leaked == [], f"leaked artifacts in {tmp_root}: {leaked}")
+    os.rmdir(tmp_root)
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -369,6 +369,81 @@ def _command_partition(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.service.app import ServiceApp, run_service
+    from repro.service.collection import CollectionConfig, ServiceCollection
+    from repro.service.store import CollectionStore
+
+    defaults: dict = {}
+    explicit_configs: list[CollectionConfig] = []
+    if args.spec:
+        spec = json.loads(Path(args.spec).read_text(encoding="utf-8"))
+        if not isinstance(spec, dict):
+            raise PipelineValidationError("service spec must be a JSON object")
+        defaults = dict(spec.get("defaults", {}))
+        for entry in spec.get("collections", []):
+            explicit_configs.append(CollectionConfig.from_dict(entry))
+    store = CollectionStore(snapshot_dir=args.snapshot_dir, defaults=defaults)
+    for config in explicit_configs:
+        store.add(ServiceCollection(config))
+    for name in args.collection or []:
+        store.get_or_create(name)
+    restored = store.load_snapshots() if args.snapshot_dir else []
+    for name in restored:
+        print(f"restored collection {name!r} from snapshot", flush=True)
+
+    app = ServiceApp(store, host=args.host, port=args.port)
+
+    def announce(port: int) -> None:
+        # Parseable by the CI smoke driver and by `ping` wrappers.
+        print(f"serving on http://{args.host}:{port}", flush=True)
+        for name in store.names():
+            print(f"collection: {name}", flush=True)
+
+    async def _serve() -> None:
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop_event.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await run_service(app, ready=announce, stop_event=stop_event)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:  # pragma: no cover - signal handler normally wins
+        app.shutdown()
+    print("service stopped", flush=True)
+    return 0
+
+
+def _command_ping(args: argparse.Namespace) -> int:
+    import time
+    import urllib.error
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/healthz"
+    deadline = time.monotonic() + args.timeout
+    last_error: "Exception | None" = None
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(url, timeout=1.0) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+            if payload.get("status") == "ok":
+                print(json.dumps(payload, sort_keys=True))
+                return 0
+            last_error = RuntimeError(f"unexpected health payload: {payload}")
+        except (urllib.error.URLError, OSError, ValueError) as error:
+            last_error = error
+        time.sleep(0.1)
+    print(f"error: service at {url} not healthy: {last_error}", file=sys.stderr)
+    return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -478,6 +553,35 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_arguments(partition)
     partition.add_argument("--threshold", type=float, default=0.3)
     partition.set_defaults(handler=_command_partition)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the ER service (async HTTP ingest/query server)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks a free port and prints it")
+    serve.add_argument("--spec", default=None,
+                       help="service spec (JSON: {'defaults': {...}, "
+                            "'collections': [{...}]}) preloading configured "
+                            "collections")
+    serve.add_argument("--collection", action="append", default=None,
+                       metavar="NAME",
+                       help="preload an empty collection with the default "
+                            "config (repeatable)")
+    serve.add_argument("--snapshot-dir", default=None, dest="snapshot_dir",
+                       help="directory for POST .../snapshot checkpoints; "
+                            "existing snapshots are restored at startup")
+    serve.set_defaults(handler=_command_serve)
+
+    ping = subparsers.add_parser(
+        "ping", help="probe a running ER service's /healthz endpoint"
+    )
+    ping.add_argument("--host", default="127.0.0.1")
+    ping.add_argument("--port", type=int, required=True)
+    ping.add_argument("--timeout", type=float, default=5.0,
+                      help="seconds to keep retrying before giving up")
+    ping.set_defaults(handler=_command_ping)
 
     return parser
 

@@ -158,3 +158,17 @@ def live_artifacts(kind: "str | None" = None) -> list[str]:
     return sorted(
         path for path in _live_owned if os.path.basename(path).startswith(marker)
     )
+
+
+def discard_live_artifacts(kind: "str | None" = None) -> list[str]:
+    """Remove every artifact this process still owns; return the paths.
+
+    The graceful-shutdown sweep of a long-lived process (the ER service): a
+    batch run discards each artifact as its owner closes, but a server that
+    is killed mid-request must be able to drop everything it ever created in
+    one call.  Restricting to ``kind`` leaves other families untouched.
+    """
+    paths = live_artifacts(kind)
+    for path in paths:
+        discard_artifact(path)
+    return paths

@@ -365,6 +365,58 @@ class PythonKernel:
             )
         return per_node
 
+    def weighted_neighbourhoods(self, nodes, plan: WeightPlan) -> list[list[tuple[int, float]]]:
+        """Per requested dense node, ``[(other_dense, weight)]`` over *all*
+        its neighbours (both directions), in first-touch order.
+
+        The neighbourhood-local re-weighting entry point: unlike
+        :meth:`weighted_edges` the lower direction is included, so a caller
+        can refresh every edge incident to a node set without sweeping the
+        rest of the graph.  For the endpoint-symmetric schemes (CBS, JS,
+        ARCS, with or without the entropy factor) the weight of an edge seen
+        from either endpoint is bit-for-bit the canonical emission value:
+        the aggregates accumulate over the same shared blocks in the same
+        ascending-block order from both sides, and the remaining arithmetic
+        is commutative-exact.  ECBS / EJS multiply per-endpoint factors in
+        endpoint order, so their lower-direction values may differ in the
+        last ulp — callers needing exactness there must re-emit canonically.
+        """
+        from repro.metablocking.graph import EdgeInfo
+        from repro.metablocking.weights import WeightingScheme, compute_edge_weight
+
+        index = self._index
+        needs_degrees = plan.scheme is WeightingScheme.EJS
+        block_counts = index.node_block_count
+        degrees = plan.degrees
+        use_entropy = plan.use_entropy
+        per_node: list[list[tuple[int, float]]] = []
+        for node in nodes:
+            touched = self.neighbours(node)
+            common, arcs, entropy = self.common_blocks, self.arcs, self.entropy_sum
+            blocks_node = block_counts[node]
+            results: list[tuple[int, float]] = []
+            for other in touched:
+                info = EdgeInfo(
+                    common_blocks=common[other],
+                    arcs=arcs[other],
+                    entropy_sum=entropy[other],
+                )
+                weight = compute_edge_weight(
+                    plan.scheme,
+                    info,
+                    blocks_a=blocks_node,
+                    blocks_b=block_counts[other],
+                    total_blocks=plan.total_blocks,
+                    degree_a=degrees[node] if needs_degrees else 0,
+                    degree_b=degrees[other] if needs_degrees else 0,
+                    total_edges=plan.total_edges if needs_degrees else 0,
+                )
+                if use_entropy:
+                    weight *= info.mean_entropy
+                results.append((other, weight))
+            per_node.append(results)
+        return per_node
+
     def degrees(self) -> array:
         """Blocking-graph degree of every node (one full sweep).
 
@@ -734,6 +786,31 @@ class NumpyKernel:
         keep = sweep.others > sweep.owners
         pairs, weights = self._pair_records(sweep, keep, plan)
         return list(zip(pairs, weights.tolist()))
+
+    def weighted_neighbourhoods(self, nodes, plan: WeightPlan) -> list[list[tuple[int, float]]]:
+        """Per requested dense node, ``[(other_dense, weight)]`` over *all*
+        its neighbours (both directions), in first-touch order.
+
+        ``nodes`` must be ascending (the partial-sweep offsets come from a
+        ``searchsorted``).  Same contract as the python kernel's method: the
+        values are bit-identical to canonical emission for the
+        endpoint-symmetric schemes — the partial sweep visits each owner's
+        occurrences in the same ascending-block order the full sweep does.
+        """
+        np = self._np
+        dense = np.asarray(list(nodes), dtype=np.int64)
+        if len(dense) == 0:
+            return []
+        sweep = self._plan_sweep(plan, dense)
+        keep = np.ones(len(sweep.others), dtype=bool)
+        weights = self._edge_weights(sweep, keep, plan)
+        others = sweep.others.tolist()
+        weight_list = weights.tolist()
+        per_node: list[list[tuple[int, float]]] = []
+        for position in range(len(dense)):
+            start, end = sweep.segment(position)
+            per_node.append(list(zip(others[start:end], weight_list[start:end])))
+        return per_node
 
     def weight_arrays(self, plan: WeightPlan) -> "EdgeWeights":
         """Every edge weight of the graph as aligned dense arrays — no dict.

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import weakref
 from array import array
+from bisect import bisect_left
 
 from repro.blocking.block import BlockCollection
 from repro.metablocking import backends as _backends
@@ -162,21 +163,66 @@ class CSRBlockIndex:
         views — same values, same emission order, bit-for-bit identical
         retained edges.
         """
-        index = cls(backend=backend, buffer_backend=buffer_backend)
-        index.clean_clean = blocks.clean_clean
-        index.total_blocks = len(blocks)
-
         valid: list[tuple[list[int], list[int], int, float, bool]] = []
-        node_of = index._node_of
         for block in blocks:
             cardinality = block.num_comparisons()
             if cardinality == 0:
                 continue
-            members0 = sorted(block.profiles_source0)
-            members1 = sorted(block.profiles_source1)
             valid.append(
-                (members0, members1, cardinality, block.entropy, block.is_clean_clean)
+                (
+                    sorted(block.profiles_source0),
+                    sorted(block.profiles_source1),
+                    cardinality,
+                    block.entropy,
+                    block.is_clean_clean,
+                )
             )
+        return cls._from_valid_blocks(
+            valid,
+            clean_clean=blocks.clean_clean,
+            total_blocks=len(blocks),
+            backend=backend,
+            buffer_backend=buffer_backend,
+            tmp_dir=tmp_dir,
+        )
+
+    @classmethod
+    def _from_valid_blocks(
+        cls,
+        valid: "list[tuple[list[int], list[int], int, float, bool]]",
+        *,
+        clean_clean: bool,
+        total_blocks: int,
+        backend: "str | None" = None,
+        buffer_backend: "str | None" = None,
+        tmp_dir: "str | None" = None,
+    ) -> "CSRBlockIndex":
+        """Build the index from pre-validated ``(members0, members1,
+        cardinality, entropy, clean)`` tuples — the single array builder.
+
+        ``members0`` / ``members1`` must already be sorted and every tuple
+        must induce at least one comparison.  :meth:`from_blocks` derives the
+        tuples from a :class:`BlockCollection`; the incremental index
+        (:class:`IncrementalBlockIndex`) keeps them cached per token and
+        recomputes only the touched ones, so compaction routes through the
+        exact same construction and is bit-for-bit identical to a
+        from-scratch build by design.  On any build error the partially
+        constructed index is :meth:`close`\\ d (no leaked memmap buffer).
+        """
+        index = cls(backend=backend, buffer_backend=buffer_backend)
+        try:
+            return cls._populate(index, valid, clean_clean, total_blocks, tmp_dir)
+        except BaseException:
+            index.close()
+            raise
+
+    @classmethod
+    def _populate(cls, index, valid, clean_clean, total_blocks, tmp_dir):
+        index.clean_clean = clean_clean
+        index.total_blocks = total_blocks
+
+        node_of = index._node_of
+        for members0, members1, _cardinality, _entropy, _clean in valid:
             for profile_id in members0:
                 node_of.setdefault(profile_id, -1)
             for profile_id in members1:
@@ -238,16 +284,24 @@ class CSRBlockIndex:
         lengths = [len(getattr(self, fld)) for fld, _tc in _SHARED_FIELDS]
         total_bytes = 8 * sum(lengths)
         path = _tmpfiles.make_artifact_path("csrbuf", tmp_dir)
-        base = np.memmap(path, dtype=np.uint8, mode="w+", shape=(max(total_bytes, 1),))
-        offset = 0
-        for (fld, typecode), length in zip(_SHARED_FIELDS, lengths):
-            dtype = np.int64 if typecode == "q" else np.float64
-            view = base[offset : offset + 8 * length].view(dtype)
-            if length:
-                view[:] = np.frombuffer(getattr(self, fld), dtype=dtype)
-            setattr(self, fld, view)
-            offset += 8 * length
-        base.flush()
+        try:
+            base = np.memmap(
+                path, dtype=np.uint8, mode="w+", shape=(max(total_bytes, 1),)
+            )
+            offset = 0
+            for (fld, typecode), length in zip(_SHARED_FIELDS, lengths):
+                dtype = np.int64 if typecode == "q" else np.float64
+                view = base[offset : offset + 8 * length].view(dtype)
+                if length:
+                    view[:] = np.frombuffer(getattr(self, fld), dtype=dtype)
+                setattr(self, fld, view)
+                offset += 8 * length
+            base.flush()
+        except BaseException:
+            # The buffer file never reached a usable state: reclaim it now
+            # instead of leaning on the GC finalizer / dead-pid sweep.
+            _tmpfiles.discard_artifact(path)
+            raise
         self._mmap_path = path
         self._mmap_base = base
         self._mmap_finalizer = weakref.finalize(
@@ -386,11 +440,19 @@ class CSRBlockIndex:
         :func:`weakref.finalize` backstop, and a crashed process's file is
         reclaimed by the dead-pid sweep — ``close()`` is simply the prompt
         path.
+
+        Safe on any instance, however incomplete: an index whose build
+        failed mid-way (or whose ``__init__`` never ran, e.g. a broken
+        unpickle) may miss some slots entirely, so every resource handle is
+        read with a default instead of assumed present.
         """
-        self.release_shared()
-        if self._mmap_finalizer is not None:
-            self._mmap_finalizer()
-            self._mmap_finalizer = None
+        shared = getattr(self, "_shared", None)
+        if shared is not None:
+            shared.release()
+        finalizer = getattr(self, "_mmap_finalizer", None)
+        if finalizer is not None:
+            finalizer()
+        self._mmap_finalizer = None
         self._mmap_base = None
         self._mmap_path = None
 
@@ -469,3 +531,319 @@ class CSRBlockIndex:
         if self._num_edges is None:
             self._num_edges = int(sum(self.degree_vector())) // 2
         return self._num_edges
+
+
+# --------------------------------------------------------------------------
+# Incremental layer
+# --------------------------------------------------------------------------
+
+
+class _TokenState:
+    """Mutable per-token block of the incremental index.
+
+    Holds the raw member sets plus the cached, pre-validated build tuple
+    (the exact element :meth:`CSRBlockIndex._from_valid_blocks` consumes).
+    ``dirty`` marks tokens touched since the tuple was last derived, so a
+    compaction re-sorts only the blocks an append actually extended; a
+    ``None`` cache means the block currently induces no comparison and is
+    skipped, exactly like :meth:`Block.is_valid` filtering in token blocking.
+    """
+
+    __slots__ = ("members0", "members1", "dirty", "cached")
+
+    def __init__(self) -> None:
+        self.members0: set[int] = set()
+        self.members1: set[int] = set()
+        self.dirty = True
+        self.cached: "tuple | None" = None
+
+    def __getstate__(self):
+        return (self.members0, self.members1, self.dirty, self.cached)
+
+    def __setstate__(self, state) -> None:
+        self.members0, self.members1, self.dirty, self.cached = state
+
+
+class AppendDelta:
+    """What one :meth:`IncrementalBlockIndex.append_profiles` call touched.
+
+    ``new_profile_ids`` are the appended profiles, ``touched_tokens`` the
+    blocking keys they extended and ``touched_profile_ids`` every member of
+    a touched block *after* the append (the appended profiles included).
+    Because appends only ever add members, the blocking graph only gains
+    edges: any edge whose weight can change is incident to a touched
+    profile, which is what makes neighbourhood-local re-weighting exact.
+    """
+
+    __slots__ = ("new_profile_ids", "touched_tokens", "touched_profile_ids")
+
+    def __init__(self, new_profile_ids, touched_tokens, touched_profile_ids):
+        self.new_profile_ids: "tuple[int, ...]" = tuple(new_profile_ids)
+        self.touched_tokens: "frozenset[str]" = frozenset(touched_tokens)
+        self.touched_profile_ids: "frozenset[int]" = frozenset(touched_profile_ids)
+
+    def __getstate__(self):
+        return (self.new_profile_ids, self.touched_tokens, self.touched_profile_ids)
+
+    def __setstate__(self, state) -> None:
+        self.new_profile_ids, self.touched_tokens, self.touched_profile_ids = state
+
+    def __repr__(self) -> str:
+        return (
+            f"AppendDelta(profiles={len(self.new_profile_ids)}, "
+            f"tokens={len(self.touched_tokens)}, "
+            f"touched={len(self.touched_profile_ids)})"
+        )
+
+
+class IncrementalBlockIndex:
+    """Append-only token-blocking index with periodic CSR compaction.
+
+    The batch pipeline rebuilds the whole :class:`CSRBlockIndex` per run;
+    this class is the long-lived variant the service layer ingests into.
+    :meth:`append_profiles` tokenises new profiles exactly like
+    :class:`~repro.blocking.token_blocking.TokenBlocking` (same tokenizer,
+    same per-source grouping) and extends the touched token blocks in a
+    delta overlay — plain per-token member sets — without rebuilding
+    anything.  :meth:`compact` folds the overlay into a fresh contiguous
+    CSR: cached build tuples are recomputed *only* for dirty tokens, and
+    construction routes through the same
+    :meth:`CSRBlockIndex._from_valid_blocks` builder the batch path uses,
+    so the compacted index is bit-for-bit identical to
+    ``CSRBlockIndex.from_blocks(TokenBlocking(...).block(union))`` on the
+    union collection (token blocking emits blocks in sorted-key order and
+    keeps only comparison-inducing ones; so does the compactor).
+
+    ``clean_clean`` is declared up front — the incremental collection grows,
+    so it cannot be inferred from the data the way
+    :attr:`ProfileCollection.is_clean_clean` does; callers must declare the
+    task shape and feed matching source ids.  Profile ids must arrive in
+    strictly increasing order (the natural ingest order), which keeps "new
+    profile" well-defined and rejects duplicate ids early.
+
+    ``compact_every=N`` auto-compacts after every N appended profiles;
+    otherwise compaction happens lazily on :meth:`materialise` (the query
+    path).  Pickling drops the built CSR — a restored instance rebuilds it
+    with one compaction, which the snapshot/restore story of the service
+    relies on.
+    """
+
+    __slots__ = (
+        "clean_clean",
+        "min_token_length",
+        "remove_stopwords",
+        "compact_every",
+        "appended_profiles",
+        "compactions",
+        "_backend",
+        "_buffer_backend",
+        "_tmp_dir",
+        "_tokens",
+        "_profile_ids",
+        "_last_profile_id",
+        "_stale",
+        "_since_compact",
+        "_csr",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        *,
+        clean_clean: bool = False,
+        min_token_length: int = 1,
+        remove_stopwords: bool = False,
+        compact_every: "int | None" = None,
+        backend: "str | None" = None,
+        buffer_backend: "str | None" = None,
+        tmp_dir: "str | None" = None,
+    ) -> None:
+        if compact_every is not None and compact_every < 1:
+            from repro.exceptions import DataError
+
+            raise DataError("compact_every must be a positive integer or None")
+        self.clean_clean = clean_clean
+        self.min_token_length = min_token_length
+        self.remove_stopwords = remove_stopwords
+        self.compact_every = compact_every
+        self.appended_profiles = 0
+        self.compactions = 0
+        self._backend = backend
+        self._buffer_backend = buffer_backend
+        self._tmp_dir = tmp_dir
+        self._tokens: dict[str, _TokenState] = {}
+        self._profile_ids: list[int] = []
+        self._last_profile_id = -1
+        self._stale = True
+        self._since_compact = 0
+        self._csr: "CSRBlockIndex | None" = None
+
+    # ------------------------------------------------------------------ ingest
+    def append_profiles(self, profiles) -> AppendDelta:
+        """Tokenise and index new profiles; return what they touched.
+
+        ``profiles`` is any iterable of
+        :class:`~repro.data.profile.EntityProfile`; ids must be strictly
+        greater than every previously appended id.  Only the token blocks
+        the new profiles belong to are marked dirty — everything else keeps
+        its cached build tuple across the next compaction.
+        """
+        from repro.exceptions import DataError
+
+        new_ids: list[int] = []
+        touched: set[str] = set()
+        for profile in profiles:
+            profile_id = profile.profile_id
+            if profile_id <= self._last_profile_id:
+                raise DataError(
+                    "append_profiles requires strictly increasing profile ids: "
+                    f"got {profile_id} after {self._last_profile_id}"
+                )
+            self._last_profile_id = profile_id
+            self._profile_ids.append(profile_id)
+            new_ids.append(profile_id)
+            # Mirror TokenBlocking._build_collection: in a clean-clean task
+            # source 1 fills the right side, everything else the left.
+            side1 = self.clean_clean and profile.source_id == 1
+            for token in profile.tokens(
+                min_length=self.min_token_length,
+                remove_stopwords=self.remove_stopwords,
+            ):
+                state = self._tokens.get(token)
+                if state is None:
+                    state = _TokenState()
+                    self._tokens[token] = state
+                (state.members1 if side1 else state.members0).add(profile_id)
+                state.dirty = True
+                touched.add(token)
+        touched_profiles: set[int] = set()
+        for token in touched:
+            state = self._tokens[token]
+            touched_profiles |= state.members0
+            touched_profiles |= state.members1
+        if new_ids:
+            self.appended_profiles += len(new_ids)
+            self._since_compact += len(new_ids)
+            self._stale = True
+        delta = AppendDelta(new_ids, touched, touched_profiles)
+        if self.compact_every is not None and self._since_compact >= self.compact_every:
+            self.compact()
+        return delta
+
+    # ------------------------------------------------------------- compaction
+    def _valid_tuple(self, state: _TokenState) -> "tuple | None":
+        """The pre-validated build tuple of one token block (None = invalid).
+
+        Cardinality and the entropy default (1.0) mirror
+        :meth:`Block.num_comparisons` / the :class:`Block` dataclass, so the
+        tuple is exactly what :meth:`CSRBlockIndex.from_blocks` would have
+        derived from the equivalent token-blocking output.
+        """
+        if self.clean_clean:
+            cardinality = len(state.members0) * len(state.members1)
+        else:
+            n = len(state.members0)
+            cardinality = n * (n - 1) // 2
+        if cardinality == 0:
+            return None
+        return (
+            sorted(state.members0),
+            sorted(state.members1),
+            cardinality,
+            1.0,
+            self.clean_clean,
+        )
+
+    def compact(self) -> CSRBlockIndex:
+        """Fold the delta overlay into a fresh contiguous CSR index.
+
+        Only dirty tokens re-derive their build tuple; the valid tuples are
+        then fed in sorted-token order to the shared array builder.  The
+        previous CSR (if any) is closed only after the new one is fully
+        built, so a failed compaction leaves the old index usable.
+        """
+        valid: list = []
+        for token in sorted(self._tokens):
+            state = self._tokens[token]
+            if state.dirty:
+                state.cached = self._valid_tuple(state)
+                state.dirty = False
+            if state.cached is not None:
+                valid.append(state.cached)
+        rebuilt = CSRBlockIndex._from_valid_blocks(
+            valid,
+            clean_clean=self.clean_clean,
+            total_blocks=len(valid),
+            backend=self._backend,
+            buffer_backend=self._buffer_backend,
+            tmp_dir=self._tmp_dir,
+        )
+        if self._csr is not None:
+            self._csr.close()
+        self._csr = rebuilt
+        self._stale = False
+        self._since_compact = 0
+        self.compactions += 1
+        return rebuilt
+
+    def materialise(self) -> CSRBlockIndex:
+        """The current CSR index, compacting first if appends made it stale."""
+        if self._csr is None or self._stale:
+            return self.compact()
+        return self._csr
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def is_stale(self) -> bool:
+        """True when appends happened after the last compaction."""
+        return self._stale or self._csr is None
+
+    @property
+    def num_profiles(self) -> int:
+        """Number of profiles appended so far (tokenless ones included)."""
+        return len(self._profile_ids)
+
+    @property
+    def num_tokens(self) -> int:
+        """Number of distinct blocking keys seen so far."""
+        return len(self._tokens)
+
+    @property
+    def last_profile_id(self) -> int:
+        """Highest profile id appended so far (-1 when empty)."""
+        return self._last_profile_id
+
+    def profile_ids(self) -> list[int]:
+        """All appended profile ids, in (strictly increasing) ingest order."""
+        return list(self._profile_ids)
+
+    def has_profile(self, profile_id: int) -> bool:
+        """True when ``profile_id`` was appended (bisect on the sorted ids)."""
+        ids = self._profile_ids
+        position = bisect_left(ids, profile_id)
+        return position < len(ids) and ids[position] == profile_id
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the built CSR (if any); idempotent, safe when never built."""
+        csr = getattr(self, "_csr", None)
+        if csr is not None:
+            csr.close()
+        self._csr = None
+        self._stale = True
+
+    # --------------------------------------------------------------- pickling
+    def __getstate__(self) -> dict:
+        """Ship the overlay, never the CSR (one compaction rebuilds it)."""
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot not in ("_csr", "__weakref__")
+        }
+        state["_stale"] = True
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self._csr = None
+        for slot, value in state.items():
+            setattr(self, slot, value)

@@ -100,15 +100,31 @@ class ProgressiveSortedComparisons:
             blocks, backend=self.kernel_backend, buffer_backend=self.buffer_backend
         )
         try:
-            runs = [
-                sorted(edges, key=_edge_rank)
-                for edges in _weighted_edges_by_node(index, self.weighting)
-                if edges
-            ]
+            iterator = self.stream_index(index)
         finally:
             index.close()
-        for pair, _weight in heapq.merge(*runs, key=_edge_rank):
-            yield pair
+        yield from iterator
+
+    def stream_index(self, index: CSRBlockIndex) -> Iterator[tuple[int, int]]:
+        """:meth:`stream` over a caller-owned, already-built index.
+
+        The service layer keeps one long-lived index per collection and
+        answers every budgeted match query from it — same ranking, same heap
+        merge, but the index is neither rebuilt nor closed here.  The
+        weighting sweep runs eagerly (so the caller may close the index as
+        soon as this returns); only the merge is lazy.
+        """
+        runs = [
+            sorted(edges, key=_edge_rank)
+            for edges in _weighted_edges_by_node(index, self.weighting)
+            if edges
+        ]
+
+        def _merge() -> Iterator[tuple[int, int]]:
+            for pair, _weight in heapq.merge(*runs, key=_edge_rank):
+                yield pair
+
+        return _merge()
 
 
 class ProgressiveNodeScheduling:
@@ -135,9 +151,18 @@ class ProgressiveNodeScheduling:
             blocks, backend=self.kernel_backend, buffer_backend=self.buffer_backend
         )
         try:
-            per_node = _weighted_edges_by_node(index, self.weighting)
+            iterator = self.stream_index(index)
         finally:
             index.close()
+        yield from iterator
+
+    def stream_index(self, index: CSRBlockIndex) -> Iterator[tuple[int, int]]:
+        """:meth:`stream` over a caller-owned, already-built index.
+
+        Sweep, schedule and per-node sorting all run eagerly (the caller may
+        close the index as soon as this returns); the emission loop is lazy.
+        """
+        per_node = _weighted_edges_by_node(index, self.weighting)
 
         # Per-node incident edges, built in edge-emission order (the order the
         # node-priority float sums depend on), then each list sorted exactly
@@ -155,13 +180,16 @@ class ProgressiveNodeScheduling:
         for edges in incident.values():
             edges.sort(key=_edge_rank)
 
-        emitted: set[tuple[int, int]] = set()
-        for node in sorted(priority, key=lambda n: (-priority[n], n)):
-            for pair, _weight in incident[node]:
-                if pair in emitted:
-                    continue
-                emitted.add(pair)
-                yield pair
+        def _emit() -> Iterator[tuple[int, int]]:
+            emitted: set[tuple[int, int]] = set()
+            for node in sorted(priority, key=lambda n: (-priority[n], n)):
+                for pair, _weight in incident[node]:
+                    if pair in emitted:
+                        continue
+                    emitted.add(pair)
+                    yield pair
+
+        return _emit()
 
 
 def progressive_recall_curve(

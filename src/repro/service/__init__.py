@@ -1,0 +1,34 @@
+"""ER-as-a-service: a long-lived, queryable resolved-entity store.
+
+The batch library resolves one dataset per run; this package keeps the
+blocking index alive between requests.  Profiles stream in through
+:meth:`~repro.service.collection.ServiceCollection.ingest` into an
+append-only :class:`~repro.metablocking.index.IncrementalBlockIndex`,
+candidate edges refresh neighbourhood-locally through the
+:class:`~repro.service.delta.DeltaMetaBlocker`, and budgeted match queries
+answer from a cached progressive ranking — all exposed over a stdlib-asyncio
+HTTP server (:mod:`repro.service.app`) with per-endpoint latency histograms
+and checksummed disk snapshots.  ``python -m repro.cli serve`` runs it.
+"""
+
+from repro.service.app import ServiceApp, run_service
+from repro.service.collection import CollectionConfig, ServiceCollection
+from repro.service.delta import DeltaMetaBlocker
+from repro.service.http import HttpError, HttpServer, Request, Response, Router
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import CollectionStore
+
+__all__ = [
+    "CollectionConfig",
+    "CollectionStore",
+    "DeltaMetaBlocker",
+    "HttpError",
+    "HttpServer",
+    "Request",
+    "Response",
+    "Router",
+    "ServiceApp",
+    "ServiceCollection",
+    "ServiceMetrics",
+    "run_service",
+]

@@ -1,0 +1,168 @@
+"""The ER service application: routes, lifecycle, graceful shutdown.
+
+:class:`ServiceApp` wires a :class:`~repro.service.store.CollectionStore`
+onto the HTTP router:
+
+========  =========================================== =======================
+Method    Path                                        Purpose
+========  =========================================== =======================
+GET       ``/healthz``                                liveness + version
+GET       ``/metrics``                                latency histograms,
+                                                      engine counters,
+                                                      per-collection stats
+GET       ``/collections``                            tenant listing
+POST      ``/collections/{name}/profiles``            ingest (creates the
+                                                      collection on first use)
+GET       ``/collections/{name}/matches/{profile_id}``  progressive matches
+                                                      under ``?budget=K``
+GET       ``/collections/{name}/candidates/{profile_id}``  retained edges
+                                                      (delta meta-blocking)
+POST      ``/collections/{name}/snapshot``            checksummed disk
+                                                      snapshot
+========  =========================================== =======================
+
+Shutdown is deliberate: stop accepting, close every collection (releasing
+shared-memory and memmap buffers), then sweep every tmp artifact this
+process still owns via
+:func:`repro.engine.tmpfiles.discard_live_artifacts` — a killed service must
+not leak ``repro-*`` files, which the CI smoke test asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro import __version__
+from repro.engine import tmpfiles as _tmpfiles
+from repro.service.http import HttpError, HttpServer, Request, Response, Router
+from repro.service.metrics import ServiceMetrics
+from repro.service.store import CollectionStore
+
+
+class ServiceApp:
+    """One service instance: a store, a router, a server."""
+
+    def __init__(
+        self,
+        store: "CollectionStore | None" = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.store = store if store is not None else CollectionStore()
+        self.metrics = ServiceMetrics()
+        self.router = Router()
+        self._register_routes()
+        self.server = HttpServer(
+            self.router, host=host, port=port, metrics=self.metrics
+        )
+        self._closed = False
+
+    # ----------------------------------------------------------------- routes
+    def _register_routes(self) -> None:
+        add = self.router.add
+        add("GET", "/healthz", self._healthz)
+        add("GET", "/metrics", self._metrics)
+        add("GET", "/collections", self._collections)
+        add("POST", "/collections/{name}/profiles", self._ingest)
+        add("GET", "/collections/{name}/matches/{profile_id}", self._matches)
+        add("GET", "/collections/{name}/candidates/{profile_id}", self._candidates)
+        add("POST", "/collections/{name}/snapshot", self._snapshot)
+
+    def _healthz(self, _request: Request) -> dict:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "collections": len(self.store.names()),
+        }
+
+    def _metrics(self, _request: Request) -> dict:
+        payload = self.metrics.snapshot()
+        payload["collections"] = self.store.stats()
+        payload["tmp_artifacts"] = len(_tmpfiles.live_artifacts())
+        return payload
+
+    def _collections(self, _request: Request) -> dict:
+        return {"collections": self.store.stats()}
+
+    def _ingest(self, request: Request) -> Response:
+        collection = self.store.get_or_create(request.path_params["name"])
+        summary = collection.ingest(request.json())
+        summary["collection"] = collection.config.name
+        return Response(summary, status=201)
+
+    def _resolve(self, request: Request):
+        collection = self.store.get(request.path_params["name"])
+        if collection is None:
+            raise HttpError(
+                404, f"unknown collection {request.path_params['name']!r}"
+            )
+        try:
+            profile_id = int(request.path_params["profile_id"])
+        except ValueError as error:
+            raise HttpError(400, "profile_id must be an integer") from error
+        if not collection.has_profile(profile_id):
+            raise HttpError(
+                404,
+                f"unknown profile {profile_id} in collection "
+                f"{collection.config.name!r}",
+            )
+        return collection, profile_id
+
+    def _matches(self, request: Request) -> dict:
+        collection, profile_id = self._resolve(request)
+        budget = request.int_query("budget", 1000, minimum=0)
+        payload = collection.matches(profile_id, budget)
+        payload["collection"] = collection.config.name
+        return payload
+
+    def _candidates(self, request: Request) -> dict:
+        collection, profile_id = self._resolve(request)
+        payload = collection.candidates(profile_id)
+        payload["collection"] = collection.config.name
+        return payload
+
+    def _snapshot(self, request: Request) -> Response:
+        summary = self.store.snapshot(request.path_params["name"])
+        return Response(summary, status=201)
+
+    # -------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        await self.server.start()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    async def serve_forever(self) -> None:
+        await self.server.serve_forever()
+
+    async def stop(self) -> None:
+        await self.server.stop()
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Close collections and sweep owned tmp artifacts (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.store.close_all()
+        _tmpfiles.discard_live_artifacts()
+
+
+async def run_service(app: ServiceApp, *, ready=None, stop_event=None) -> None:
+    """Start ``app``, report readiness, serve until ``stop_event`` fires.
+
+    ``ready`` is called with the bound port once the listener is up (the CLI
+    prints its parseable "serving on" line from it); ``stop_event`` is an
+    :class:`asyncio.Event` — signal handlers set it for graceful shutdown.
+    """
+    await app.start()
+    if ready is not None:
+        ready(app.port)
+    if stop_event is None:
+        stop_event = asyncio.Event()
+    try:
+        await stop_event.wait()
+    finally:
+        await app.stop()

@@ -1,0 +1,49 @@
+"""Service-side request metrics: per-endpoint latency histograms.
+
+Thin aggregation over :class:`repro.engine.metrics.LatencyHistogram` — one
+histogram and one request/error counter pair per route label, snapshotted by
+the ``GET /metrics`` endpoint.  Labels are route *patterns* (e.g.
+``POST /collections/{name}/profiles``), not concrete paths, so cardinality is
+bounded by the route table.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.metrics import LatencyHistogram
+
+
+class ServiceMetrics:
+    """Request counters and latency histograms keyed by route label."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+
+    def observe(self, label: str, seconds: float, status: int) -> None:
+        """Record one handled request (5xx statuses count as errors)."""
+        histogram = self._histograms.get(label)
+        if histogram is None:
+            histogram = self._histograms[label] = LatencyHistogram()
+        histogram.observe(seconds)
+        self._requests[label] = self._requests.get(label, 0) + 1
+        if status >= 500:
+            self._errors[label] = self._errors.get(label, 0) + 1
+
+    def snapshot(self) -> dict:
+        """The /metrics payload fragment for request handling."""
+        endpoints = {}
+        for label, histogram in sorted(self._histograms.items()):
+            summary = histogram.summary()
+            summary["requests"] = self._requests.get(label, 0)
+            summary["errors"] = self._errors.get(label, 0)
+            endpoints[label] = summary
+        return {
+            "uptime_seconds": max(0.0, time.time() - self.started_at),
+            "requests": sum(self._requests.values()),
+            "errors": sum(self._errors.values()),
+            "endpoints": endpoints,
+        }

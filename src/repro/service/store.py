@@ -1,0 +1,116 @@
+"""Multi-tenant collection store with checksummed disk snapshots.
+
+The store owns every :class:`~repro.service.collection.ServiceCollection` of
+a running service and reuses the pipeline's
+:class:`~repro.pipeline.checkpoint.PipelineCheckpoint` machinery for
+persistence: each collection snapshots into its own checkpoint directory
+(``<snapshot_dir>/<name>/``) as an atomic, SHA-256-verified pickle with a
+rotated backup.  The incremental index pickles only its delta overlay — a
+restored collection rebuilds its CSR with one compaction on first query, so
+snapshots stay small and never contain memmap paths from a dead process.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline.checkpoint import PipelineCheckpoint
+from repro.service.collection import (
+    CollectionConfig,
+    ServiceCollection,
+    validate_collection_name,
+)
+
+
+class CollectionStore:
+    """Name → :class:`ServiceCollection`, plus snapshot/restore."""
+
+    def __init__(
+        self,
+        *,
+        snapshot_dir: "str | None" = None,
+        defaults: "dict | None" = None,
+    ) -> None:
+        self.snapshot_dir = snapshot_dir
+        # Config values applied to collections created on first ingest
+        # (clean_clean, backends, ...); an explicit CollectionConfig wins.
+        self.defaults = dict(defaults or {})
+        self._collections: dict[str, ServiceCollection] = {}
+
+    # ----------------------------------------------------------------- access
+    def names(self) -> list[str]:
+        return sorted(self._collections)
+
+    def get(self, name: str) -> "ServiceCollection | None":
+        return self._collections.get(name)
+
+    def get_or_create(self, name: str) -> ServiceCollection:
+        """The named collection, created from the store defaults if new."""
+        collection = self._collections.get(name)
+        if collection is None:
+            config = CollectionConfig(name=name, **self.defaults)
+            collection = ServiceCollection(config)
+            self._collections[name] = collection
+        return collection
+
+    def add(self, collection: ServiceCollection) -> ServiceCollection:
+        """Register an explicitly configured collection (name must be free)."""
+        name = collection.config.name
+        if name in self._collections:
+            raise ConfigurationError(f"collection {name!r} already exists")
+        self._collections[name] = collection
+        return collection
+
+    # -------------------------------------------------------------- snapshots
+    def _checkpoint(self, name: str) -> PipelineCheckpoint:
+        if not self.snapshot_dir:
+            raise ConfigurationError("service started without a snapshot directory")
+        validate_collection_name(name)
+        return PipelineCheckpoint(os.path.join(self.snapshot_dir, name))
+
+    def snapshot(self, name: str) -> dict:
+        """Persist one collection; return where and what was written."""
+        collection = self._collections.get(name)
+        if collection is None:
+            raise ConfigurationError(f"unknown collection {name!r}")
+        checkpoint = self._checkpoint(name)
+        checkpoint.save(collection.snapshot_state())
+        return {
+            "collection": name,
+            "path": str(checkpoint.state_path),
+            "profiles": collection.index.num_profiles,
+        }
+
+    def load_snapshots(self) -> list[str]:
+        """Restore every collection snapshotted under ``snapshot_dir``.
+
+        Returns the restored names.  Collections already registered (e.g.
+        preloaded from a spec) are left alone; unreadable snapshots raise —
+        refusing to serve half a dataset beats serving it silently.
+        """
+        if not self.snapshot_dir or not os.path.isdir(self.snapshot_dir):
+            return []
+        restored = []
+        for name in sorted(os.listdir(self.snapshot_dir)):
+            if name in self._collections:
+                continue
+            checkpoint = PipelineCheckpoint(os.path.join(self.snapshot_dir, name))
+            if not checkpoint.exists():
+                continue
+            state = checkpoint.load()
+            self._collections[name] = ServiceCollection.restore(state)
+            restored.append(name)
+        return restored
+
+    # -------------------------------------------------------------- lifecycle
+    def close_all(self) -> None:
+        """Close every collection (idempotent, never raises per-collection)."""
+        for collection in self._collections.values():
+            try:
+                collection.close()
+            except Exception:  # noqa: BLE001 - shutdown must keep sweeping
+                pass
+
+    def stats(self) -> dict:
+        return {name: c.stats() for name, c in sorted(self._collections.items())}

@@ -251,3 +251,89 @@ class TestPartitionCommand:
         )
         assert exit_code == 0
         assert "blob" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.collection is None
+        assert args.snapshot_dir is None
+
+    def test_serve_collection_is_repeatable(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--collection", "a", "--collection", "b"]
+        )
+        assert args.port == 0
+        assert args.collection == ["a", "b"]
+
+    def test_ping_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ping"])
+        args = build_parser().parse_args(["ping", "--port", "1234"])
+        assert args.timeout == 5.0
+
+    def test_ping_fails_fast_when_nothing_listens(self, capsys):
+        # Port 1 is privileged and unbound: the probe must retry briefly,
+        # then give up with exit code 1 and a diagnostic on stderr.
+        exit_code = main(["ping", "--port", "1", "--timeout", "0.3"])
+        assert exit_code == 1
+        assert "not healthy" in capsys.readouterr().err
+
+    def test_serve_and_ping_round_trip(self, tmp_path):
+        """Full lifecycle: serve on an ephemeral port, ping, ingest, stop."""
+        import json as _json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(repo_src)
+        env["REPRO_TMPDIR"] = str(tmp_path)
+        spec = tmp_path / "service.json"
+        spec.write_text(_json.dumps({
+            "defaults": {"weighting": "js"},
+            "collections": [{"name": "preloaded", "pruning": "cnp"}],
+        }))
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+             "--spec", str(spec), "--collection", "extra"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            port = None
+            seen = []
+            for _ in range(200):
+                line = process.stdout.readline()
+                seen.append(line)
+                if line.startswith("serving on "):
+                    port = int(line.strip().rsplit(":", 1)[1])
+                    break
+            assert port, "serve never announced its port"
+            assert main(["ping", "--port", str(port), "--timeout", "10"]) == 0
+            payload = _json.dumps(
+                {"profiles": [{"attributes": {"name": "alpha bravo"}}]}
+            ).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/collections/preloaded/profiles",
+                data=payload, method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 201
+        finally:
+            process.send_signal(signal.SIGTERM)
+            # Keep draining through the same text wrapper readline() used —
+            # communicate() reads the raw fd and would drop its buffer.
+            output = "".join(seen) + process.stdout.read()
+            process.wait(timeout=30)
+        assert process.returncode == 0
+        assert "collection: extra" in output
+        assert "collection: preloaded" in output
+        assert "service stopped" in output
+        leaked = [name for name in os.listdir(tmp_path) if name.startswith("repro-")]
+        assert leaked == []

@@ -97,6 +97,28 @@ class TestDiscard:
         tmpfiles.discard_artifact(path)
         tmpfiles.discard_artifact(path)  # second call must not raise
 
+    def test_discard_live_artifacts_sweeps_owned_paths(self, tmp_path):
+        demo = tmpfiles.make_artifact_path("demo", tmp_path)
+        other = tmpfiles.make_artifact_dir("other", tmp_path)
+        with open(demo, "wb") as handle:
+            handle.write(b"payload")
+        try:
+            # Kind-filtered sweep leaves the other family untouched.
+            removed = tmpfiles.discard_live_artifacts("demo")
+            assert removed == [demo]
+            assert not os.path.exists(demo)
+            assert os.path.isdir(other)
+            assert other in tmpfiles.live_artifacts()
+            removed = tmpfiles.discard_live_artifacts()
+            assert other in removed
+            assert not os.path.exists(other)
+            assert other not in tmpfiles.live_artifacts()
+            # Idempotent: a second sweep finds nothing of ours.
+            assert other not in tmpfiles.discard_live_artifacts()
+        finally:
+            tmpfiles.discard_artifact(demo)
+            tmpfiles.discard_artifact(other)
+
 
 def _dead_pid() -> int:
     """A pid that certainly no longer exists (a reaped child's)."""

@@ -1,0 +1,309 @@
+"""End-to-end tests of the ER service: collections, endpoints, snapshots.
+
+The HTTP round-trips run a real :class:`~repro.service.app.ServiceApp` on an
+ephemeral port inside one asyncio loop per test, with blocking urllib calls
+pushed to the default executor.  The library-level behaviour (ingest
+parsing, budgeted match prefixes, snapshot/restore) is additionally tested
+directly on :class:`~repro.service.collection.ServiceCollection`, which is
+what the acceptance contract is stated against: ``GET .../matches`` under
+budget ``B`` must return exactly the progressive ``stream()`` prefix of
+length ≤ ``B`` over the union collection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.blocking.token_blocking import TokenBlocking
+from repro.data.dataset import ProfileCollection
+from repro.exceptions import ConfigurationError, DataError
+from repro.metablocking.progressive import ProgressiveSortedComparisons
+from repro.service import (
+    CollectionConfig,
+    CollectionStore,
+    ServiceApp,
+    ServiceCollection,
+)
+
+from tests.test_metablocking_incremental import _random_profiles
+
+
+def _ingest_payload(profiles):
+    return {
+        "profiles": [
+            {
+                "id": profile.profile_id,
+                "source": profile.source_id,
+                "attributes": {
+                    "name": [kv.value for kv in profile.attributes if kv.attribute == "name"],
+                    "unique": [kv.value for kv in profile.attributes if kv.attribute == "unique"],
+                },
+            }
+            for profile in profiles
+        ]
+    }
+
+
+# --------------------------------------------------------------- collection
+class TestServiceCollection:
+    def test_matches_is_the_progressive_stream_prefix(self):
+        """The acceptance contract, checked at every budget."""
+        profiles = _random_profiles(60, clean_clean=False, seed=31)
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        try:
+            collection.ingest(_ingest_payload(profiles[:40]))
+            collection.ingest(_ingest_payload(profiles[40:]))
+            blocks = TokenBlocking().block(ProfileCollection(profiles))
+            full_stream = list(ProgressiveSortedComparisons("cbs").stream(blocks))
+            for budget in (0, 1, 5, len(full_stream), len(full_stream) + 50):
+                result = collection.matches(0, budget)
+                expected = full_stream[:budget]
+                assert result["candidates"] == [list(p) for p in expected]
+                assert len(result["candidates"]) <= budget
+                assert result["matches"] == [
+                    list(p) for p in expected if 0 in p
+                ]
+        finally:
+            collection.close()
+
+    def test_repeated_queries_reuse_the_cached_prefix(self):
+        profiles = _random_profiles(40, clean_clean=False, seed=13)
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        try:
+            collection.ingest(_ingest_payload(profiles))
+            big = collection.matches(0, 50)["candidates"]
+            assert collection.stats()["ranked_prefix"] >= len(big[:50])
+            small = collection.matches(1, 10)["candidates"]
+            assert small == big[:10]
+        finally:
+            collection.close()
+
+    def test_ingest_assigns_missing_ids_sequentially(self):
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        try:
+            summary = collection.ingest(
+                {"profiles": [
+                    {"attributes": {"name": "alpha"}},
+                    {"id": 10, "attributes": {"name": "alpha"}},
+                    {"attributes": {"name": "alpha"}},
+                ]}
+            )
+            assert summary["appended"] == 3
+            assert collection.index.profile_ids() == [0, 10, 11]
+        finally:
+            collection.close()
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"profiles": "nope"},
+            {"profiles": [17]},
+            {"profiles": [{"id": "x"}]},
+            {"profiles": [{"source": 2}]},
+            {"profiles": [{"attributes": ["not", "a", "dict"]}]},
+            {"profiles": [{"attributes": {"name": [{"nested": True}]}}]},
+        ],
+    )
+    def test_ingest_rejects_malformed_payloads(self, payload):
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        try:
+            with pytest.raises(DataError):
+                collection.ingest(payload)
+        finally:
+            collection.close()
+
+    def test_candidates_refreshes_the_delta_metablocker(self):
+        profiles = _random_profiles(50, clean_clean=False, seed=41)
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        try:
+            collection.ingest(_ingest_payload(profiles[:30]))
+            first = collection.candidates(0)
+            assert first["refresh_mode"] == "full"
+            collection.ingest(_ingest_payload(profiles[30:]))
+            second = collection.candidates(0)
+            assert second["refresh_mode"] in ("local", "full")
+            assert collection.delta.local_refreshes + collection.delta.full_refreshes == 2
+            for entry in second["candidates"]:
+                assert 0 in entry["pair"]
+        finally:
+            collection.close()
+
+    def test_collection_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            CollectionConfig(name="bad name!")
+        with pytest.raises(ConfigurationError):
+            CollectionConfig(name="ok", progressive="bogus")
+        with pytest.raises(ConfigurationError):
+            CollectionConfig.from_dict({"name": "ok", "unknown_key": 1})
+        config = CollectionConfig.from_dict({"name": "ok", "weighting": "js"})
+        assert CollectionConfig.from_dict(config.as_dict()) == config
+
+
+# -------------------------------------------------------------------- store
+class TestCollectionStore:
+    def test_snapshot_and_restore_round_trip(self, tmp_path):
+        profiles = _random_profiles(45, clean_clean=False, seed=29)
+        store = CollectionStore(snapshot_dir=str(tmp_path))
+        collection = store.get_or_create("demo")
+        collection.ingest(_ingest_payload(profiles))
+        reference = collection.matches(0, 25)
+        collection.candidates(0)
+        summary = store.snapshot("demo")
+        assert summary["profiles"] == len(profiles)
+        store.close_all()
+
+        reloaded = CollectionStore(snapshot_dir=str(tmp_path))
+        assert reloaded.load_snapshots() == ["demo"]
+        restored = reloaded.get("demo")
+        assert restored.index.profile_ids() == sorted(
+            p.profile_id for p in profiles
+        )
+        assert restored.matches(0, 25) == reference
+        assert restored.delta.retained == collection.delta.retained
+        reloaded.close_all()
+
+    def test_snapshot_without_directory_is_a_configuration_error(self):
+        store = CollectionStore()
+        store.get_or_create("demo")
+        with pytest.raises(ConfigurationError, match="snapshot directory"):
+            store.snapshot("demo")
+        with pytest.raises(ConfigurationError, match="unknown collection"):
+            CollectionStore(snapshot_dir="/tmp").snapshot("missing")
+        store.close_all()
+
+    def test_defaults_shape_new_collections(self):
+        store = CollectionStore(defaults={"weighting": "js", "pruning": "cnp"})
+        collection = store.get_or_create("demo")
+        assert collection.config.weighting == "js"
+        assert collection.config.pruning == "cnp"
+        assert store.get_or_create("demo") is collection
+        with pytest.raises(ConfigurationError, match="already exists"):
+            store.add(ServiceCollection(CollectionConfig(name="demo")))
+        store.close_all()
+
+
+# ----------------------------------------------------------------- HTTP app
+def _request(port, method, path, payload=None):
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _run_against_app(scenario, app=None):
+    """Start ``app`` on an ephemeral port and run blocking ``scenario(call)``."""
+    app = app or ServiceApp()
+
+    async def main():
+        await app.start()
+        loop = asyncio.get_running_loop()
+
+        def call(method, path, payload=None):
+            return _request(app.port, method, path, payload)
+
+        try:
+            await loop.run_in_executor(None, scenario, call)
+        finally:
+            await app.stop()
+
+    asyncio.run(main())
+
+
+class TestServiceApp:
+    def test_health_ingest_match_candidates_metrics(self):
+        profiles = _random_profiles(30, clean_clean=False, seed=3)
+
+        def scenario(call):
+            status, health = call("GET", "/healthz")
+            assert status == 200 and health["status"] == "ok"
+
+            status, ingested = call(
+                "POST", "/collections/demo/profiles", _ingest_payload(profiles)
+            )
+            assert status == 201
+            assert ingested["appended"] == len(profiles)
+
+            status, matches = call("GET", "/collections/demo/matches/0?budget=7")
+            assert status == 200
+            assert matches["budget"] == 7
+            assert len(matches["candidates"]) <= 7
+            for pair in matches["matches"]:
+                assert 0 in pair
+
+            status, candidates = call("GET", "/collections/demo/candidates/0")
+            assert status == 200
+            assert candidates["refresh_mode"] == "full"
+
+            status, listing = call("GET", "/collections")
+            assert status == 200
+            assert set(listing["collections"]) == {"demo"}
+
+            status, metrics = call("GET", "/metrics")
+            assert status == 200
+            assert metrics["requests"] >= 5
+            assert metrics["errors"] == 0
+            assert metrics["collections"]["demo"]["profiles"] == len(profiles)
+            assert "GET /healthz" in metrics["endpoints"]
+            assert metrics["endpoints"]["GET /healthz"]["count"] >= 1
+
+        _run_against_app(scenario)
+
+    def test_error_statuses(self):
+        def scenario(call):
+            assert call("GET", "/collections/none/matches/0")[0] == 404
+            assert call("GET", "/nope")[0] == 404
+            assert call("DELETE", "/healthz")[0] == 405
+            status, error = call("POST", "/collections/demo/profiles", {"bad": 1})
+            assert status == 400 and "profiles" in error["error"]
+            call(
+                "POST",
+                "/collections/demo/profiles",
+                {"profiles": [{"attributes": {"name": "alpha"}}]},
+            )
+            assert call("GET", "/collections/demo/matches/99")[0] == 404
+            assert call("GET", "/collections/demo/matches/not-an-int")[0] == 400
+            status, _ = call("GET", "/collections/demo/matches/0?budget=-1")
+            assert status == 400
+            # Ingesting a duplicate id is a DataError → 400, not a 500.
+            status, error = call(
+                "POST",
+                "/collections/demo/profiles",
+                {"profiles": [{"id": 0, "attributes": {"name": "alpha"}}]},
+            )
+            assert status == 400 and "strictly increasing" in error["error"]
+
+        _run_against_app(scenario)
+
+    def test_snapshot_endpoint_and_shutdown_sweep(self, tmp_path):
+        from repro.engine import tmpfiles
+
+        store = CollectionStore(snapshot_dir=str(tmp_path))
+        app = ServiceApp(store)
+
+        def scenario(call):
+            call(
+                "POST",
+                "/collections/demo/profiles",
+                {"profiles": [{"attributes": {"name": "alpha bravo"}}]},
+            )
+            status, summary = call("POST", "/collections/demo/snapshot")
+            assert status == 201
+            assert summary["collection"] == "demo"
+            assert (tmp_path / "demo" / "pipeline_state.pkl").is_file()
+            assert call("POST", "/collections/missing/snapshot")[0] == 400
+
+        _run_against_app(scenario, app)
+        # stop() ran the shutdown sweep: no owned tmp artifacts remain.
+        assert tmpfiles.live_artifacts() == []
+        app.shutdown()  # idempotent
