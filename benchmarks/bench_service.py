@@ -16,7 +16,16 @@ warm p95 seconds) alongside the absolute timings —
 ``scripts/bench_guard.py::check_service_against_baseline`` guards the ratio
 strictly and the absolutes loosely.
 
-Regenerate the committed ``service_entries`` with::
+The durability run (``run_wal_benchmark`` → committed
+``service_wal_entries``) measures what the write-ahead ingest log costs:
+the same batch stream ingested with no WAL, with ``fsync=off`` and with the
+default ``fsync=batch``, reported as absolute profiles/s plus the
+machine-independent ratios ``off_over_none``/``batch_over_none`` —
+``scripts/bench_guard.py::check_service_wal_against_baseline`` holds the
+batch-fsync rate at or above 50 percent of the non-WAL rate.
+
+Regenerate the committed ``service_entries`` and ``service_wal_entries``
+with::
 
     PYTHONPATH=src:benchmarks python benchmarks/bench_service.py
 """
@@ -24,12 +33,15 @@ Regenerate the committed ``service_entries`` with::
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
 from repro.data.synthetic import generate_scalability_products
 from repro.engine.metrics import LatencyHistogram
 from repro.service.collection import CollectionConfig, ServiceCollection
+from repro.service.wal import WriteAheadLog
 
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_metablocking.json"
 
@@ -37,6 +49,8 @@ SERVICE_SIZES = (2_000, 10_000)
 BATCH_SIZE = 1_000
 QUERY_COUNT = 50
 BUDGET = 500
+WAL_SIZE = 2_000
+WAL_POLICIES = ("none", "off", "batch")
 
 
 def _ingest_batches(num_entities: int, seed: int = 42):
@@ -116,6 +130,52 @@ def run_service_benchmark(
     return entries
 
 
+def run_wal_benchmark(num_entities: int = WAL_SIZE) -> list[dict]:
+    """One entry: ingest throughput with no WAL vs ``fsync=off``/``batch``.
+
+    Every policy ingests the identical batch stream into a fresh collection;
+    the WAL-backed runs log each batch (pickle + CRC + write + flush) before
+    it touches the index, which is exactly the durability overhead the
+    committed ratios track.
+    """
+    batches = _ingest_batches(num_entities)
+    rates: dict[str, float] = {}
+    wal_bytes = 0
+    for policy in WAL_POLICIES:
+        with tempfile.TemporaryDirectory(prefix="repro-walbench-") as tmp:
+            collection = ServiceCollection(
+                CollectionConfig(name="bench", clean_clean=True)
+            )
+            if policy != "none":
+                collection.attach_wal(
+                    WriteAheadLog(os.path.join(tmp, "bench.wal"), fsync=policy)
+                )
+            try:
+                started = time.perf_counter()
+                total_profiles = 0
+                for batch in batches:
+                    total_profiles += collection.ingest(batch)["appended"]
+                seconds = time.perf_counter() - started
+                rates[policy] = total_profiles / seconds
+                if collection.wal is not None:
+                    wal_bytes = max(wal_bytes, collection.wal.size_bytes())
+            finally:
+                collection.close()
+    return [
+        {
+            "num_entities": num_entities,
+            "profiles": total_profiles,
+            "batch_size": BATCH_SIZE,
+            "wal_bytes": wal_bytes,
+            "none_profiles_per_s": round(rates["none"], 1),
+            "off_profiles_per_s": round(rates["off"], 1),
+            "batch_profiles_per_s": round(rates["batch"], 1),
+            "off_over_none": round(rates["off"] / rates["none"], 3),
+            "batch_over_none": round(rates["batch"] / rates["none"], 3),
+        }
+    ]
+
+
 def test_service_ingest_query_smoke(benchmark):
     """CI smoke: small ingest + query sweep through the served code path."""
     entries = benchmark.pedantic(
@@ -128,6 +188,20 @@ def test_service_ingest_query_smoke(benchmark):
     assert 1_000 <= entry["profiles"] <= 2_000
     assert entry["profiles_per_s"] > 0
     assert entry["query_p95_s"] >= entry["query_p50_s"]
+
+
+def test_service_wal_overhead_smoke(benchmark):
+    """CI smoke: WAL-backed ingest holds a sane fraction of the no-WAL rate."""
+    entries = benchmark.pedantic(
+        lambda: run_wal_benchmark(num_entities=1_000), rounds=1, iterations=1
+    )
+    entry = entries[0]
+    assert entry["wal_bytes"] > 0
+    assert entry["batch_profiles_per_s"] > 0
+    # Loose sanity bound for the smoke (the guard holds the committed-size
+    # floor against the baseline): logging must not halve throughput.
+    assert entry["batch_over_none"] >= 0.5
+    assert entry["off_over_none"] >= 0.5
 
 
 def main(argv=None) -> int:
@@ -146,13 +220,16 @@ def main(argv=None) -> int:
 
     entries = run_service_benchmark(sizes=tuple(args.sizes))
     print_rows("SERVICE ingest/query baseline", entries)
+    wal_entries = run_wal_benchmark()
+    print_rows("SERVICE WAL durability overhead", wal_entries)
     if not args.dry_run:
         payload = (
             json.loads(args.output.read_text()) if args.output.exists() else {}
         )
         payload["service_entries"] = entries
+        payload["service_wal_entries"] = wal_entries
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"wrote service_entries to {args.output}")
+        print(f"wrote service_entries and service_wal_entries to {args.output}")
     return 0
 
 

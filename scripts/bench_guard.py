@@ -1,6 +1,6 @@
 """Perf-regression guard for the meta-blocking kernel and the engine path.
 
-Eight guards, all built on ratios that are largely machine-independent; most
+Nine guards, all built on ratios that are largely machine-independent; most
 compare against the committed ``BENCH_metablocking.json`` baseline, the
 pipeline guard measures both sides fresh:
 
@@ -38,6 +38,11 @@ pipeline guard measures both sides fresh:
   10⁴ entities): the warm-query/cold-sweep speedup must stay above a hard
   floor at every committed size, and a fresh re-run at the smallest size
   must hold the committed ingest throughput within tolerance.
+* **WAL durability overhead** — checks the committed ``service_wal_entries``
+  and a fresh re-run: ingesting through the write-ahead log under the
+  default ``fsync=batch`` policy must hold at least 50 percent of the
+  non-WAL ingest rate for the same batch stream (a machine-independent
+  ratio — crossing it means the durable write path itself regressed).
 * **out-of-core scale** — checks the committed ``scale_entries`` (the
   10⁴/10⁵-entity out-of-core runs of ``benchmarks/bench_scalability.py``)
   for the memmap-vs-ram overhead and peak-RSS ceilings at the largest size,
@@ -434,6 +439,7 @@ def check_scale_against_baseline(
 
 SERVICE_WARM_SPEEDUP_FLOOR = 20.0
 SERVICE_INGEST_FLOOR = 1_000.0  # profiles/s — an order below any sane run
+SERVICE_WAL_RATE_FLOOR = 0.5  # batch-fsync ingest / non-WAL ingest
 
 
 def check_service_against_baseline(
@@ -499,6 +505,57 @@ def check_service_against_baseline(
     return failures
 
 
+def check_service_wal_against_baseline(
+    baseline_path: Path = BASELINE_PATH,
+) -> list[str]:
+    """Guard the WAL durability overhead; return failure messages.
+
+    The write-ahead ingest log must stay cheap: the committed
+    ``service_wal_entries`` and a fresh re-run must both hold the default
+    ``fsync=batch`` ingest rate at or above ``SERVICE_WAL_RATE_FLOOR``
+    (50 percent) of the non-WAL rate for the same batch stream — the ratio
+    is machine-independent, so crossing it means the logging path itself
+    regressed (per-record work, extra fsyncs, serialisation bloat), not the
+    machine.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    from bench_service import run_wal_benchmark
+
+    baseline = json.loads(baseline_path.read_text())
+    wal_entries = baseline.get("service_wal_entries")
+    if not wal_entries:
+        return [
+            "no service WAL baseline committed — regenerate with "
+            "`python benchmarks/bench_service.py`"
+        ]
+    failures: list[str] = []
+    committed = wal_entries[0]
+    if committed["batch_over_none"] < SERVICE_WAL_RATE_FLOOR:
+        failures.append(
+            f"service-wal: committed batch-fsync ingest holds only "
+            f"{committed['batch_over_none']:.0%} of the non-WAL rate at "
+            f"{committed['num_entities']} entities (floor "
+            f"{SERVICE_WAL_RATE_FLOOR:.0%})"
+        )
+    current = run_wal_benchmark(num_entities=committed["num_entities"])[0]
+    if current["profiles"] != committed["profiles"]:
+        failures.append(
+            f"service-wal: ingest appended {current['profiles']} profiles "
+            f"(committed {committed['profiles']}) — the served dataset "
+            "drifted; regenerate the baseline if intended"
+        )
+    if current["batch_over_none"] < SERVICE_WAL_RATE_FLOOR:
+        failures.append(
+            f"service-wal: batch-fsync ingest dropped to "
+            f"{current['batch_over_none']:.0%} of the non-WAL rate "
+            f"({current['batch_profiles_per_s']:.0f} vs "
+            f"{current['none_profiles_per_s']:.0f} profiles/s, floor "
+            f"{SERVICE_WAL_RATE_FLOOR:.0%}) — the durable write path got "
+            "more expensive"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -556,6 +613,7 @@ def main(argv=None) -> int:
     failures += check_pipeline_against_facade(args.pipeline_ceiling)
     failures += check_scale_against_baseline(args.scale_tolerance, args.baseline)
     failures += check_service_against_baseline(args.service_tolerance, args.baseline)
+    failures += check_service_wal_against_baseline(args.baseline)
     if failures:
         for failure in failures:
             print(f"BENCH GUARD FAIL — {failure}", file=sys.stderr)
@@ -563,8 +621,8 @@ def main(argv=None) -> int:
     print(
         "bench guard ok: kernel speedups, e2e engine overhead, vote-stage "
         "shuffle wire format, block-store relay volume, numpy backend "
-        "speedups, pipeline-runner overhead, out-of-core scale and "
-        "service ingest/query baselines within tolerance"
+        "speedups, pipeline-runner overhead, out-of-core scale, "
+        "service ingest/query and WAL durability baselines within tolerance"
     )
     return 0
 

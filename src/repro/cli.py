@@ -378,24 +378,52 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.service.store import CollectionStore
 
     defaults: dict = {}
+    service_kwargs: dict = {}
     explicit_configs: list[CollectionConfig] = []
     if args.spec:
         spec = json.loads(Path(args.spec).read_text(encoding="utf-8"))
         if not isinstance(spec, dict):
             raise PipelineValidationError("service spec must be a JSON object")
         defaults = dict(spec.get("defaults", {}))
+        service_kwargs = dict(spec.get("service", {}))
+        known_service_keys = {
+            "workers",
+            "max_queue_depth",
+            "max_collection_inflight",
+            "request_timeout",
+            "drain_timeout",
+        }
+        unknown = set(service_kwargs) - known_service_keys
+        if unknown:
+            raise PipelineValidationError(
+                f"unknown service spec keys: {sorted(unknown)} "
+                f"(known: {sorted(known_service_keys)})"
+            )
         for entry in spec.get("collections", []):
             explicit_configs.append(CollectionConfig.from_dict(entry))
-    store = CollectionStore(snapshot_dir=args.snapshot_dir, defaults=defaults)
+    if args.wal_fsync:
+        # The flag seeds the default fsync policy; an explicit per-collection
+        # wal_fsync in the spec wins.
+        defaults.setdefault("wal_fsync", args.wal_fsync)
+    store = CollectionStore(
+        snapshot_dir=args.snapshot_dir, wal_dir=args.wal_dir, defaults=defaults
+    )
     for config in explicit_configs:
         store.add(ServiceCollection(config))
     for name in args.collection or []:
         store.get_or_create(name)
-    restored = store.load_snapshots() if args.snapshot_dir else []
-    for name in restored:
+    recovery = store.recover()
+    for name in recovery["restored"]:
         print(f"restored collection {name!r} from snapshot", flush=True)
+    for name, count in sorted(recovery["replayed"].items()):
+        print(f"replayed {count} WAL record(s) into collection {name!r}", flush=True)
+    if recovery["torn_truncations"]:
+        print(
+            f"truncated {recovery['torn_truncations']} torn WAL tail(s)",
+            flush=True,
+        )
 
-    app = ServiceApp(store, host=args.host, port=args.port)
+    app = ServiceApp(store, host=args.host, port=args.port, **service_kwargs)
 
     def announce(port: int) -> None:
         # Parseable by the CI smoke driver and by `ping` wrappers.
@@ -436,6 +464,18 @@ def _command_ping(args: argparse.Namespace) -> int:
             if payload.get("status") == "ok":
                 print(json.dumps(payload, sort_keys=True))
                 return 0
+            if payload.get("status") == "degraded":
+                # The server answered, so don't retry — but "up" is not
+                # "healthy": writes are being rejected (read-only mode), and
+                # orchestration probes need to tell the two apart.
+                print(json.dumps(payload, sort_keys=True))
+                names = ", ".join(sorted(payload.get("degraded_collections") or ()))
+                print(
+                    f"error: service at {url} is up but degraded "
+                    f"(read-only){': ' + names if names else ''}",
+                    file=sys.stderr,
+                )
+                return 3
             last_error = RuntimeError(f"unexpected health payload: {payload}")
         except (urllib.error.URLError, OSError, ValueError) as error:
             last_error = error
@@ -572,6 +612,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot-dir", default=None, dest="snapshot_dir",
                        help="directory for POST .../snapshot checkpoints; "
                             "existing snapshots are restored at startup")
+    serve.add_argument("--wal-dir", default=None, dest="wal_dir",
+                       help="directory for per-collection write-ahead ingest "
+                            "logs (<name>.wal); every ingest batch is logged "
+                            "before it applies, and startup replays the log "
+                            "tails over the restored snapshots so a crash "
+                            "between snapshots loses nothing")
+    serve.add_argument("--wal-fsync", choices=["always", "batch", "off"],
+                       default=None, dest="wal_fsync",
+                       help="WAL durability: 'always' fsyncs every append "
+                            "(survives power loss), 'batch' (default) flushes "
+                            "to the OS per append and fsyncs on snapshot/close "
+                            "(survives process death), 'off' never fsyncs; "
+                            "per-collection wal_fsync in --spec wins")
     serve.set_defaults(handler=_command_serve)
 
     ping = subparsers.add_parser(

@@ -14,10 +14,24 @@ happens when they fail*.  Two pieces:
 * :class:`FaultInjector` — a deterministic, test-only chaos harness.  An
   injection spec names exact fault coordinates (stage substring, task index,
   attempt number) and a fault mode: ``crash`` (worker dies via
-  ``os._exit``), ``raise`` (task raises :class:`FaultInjected`) or ``hang``
-  (task sleeps, to exercise the timeout path).  The executor prepends a
-  picklable :class:`_FaultProbe` to the shipped chain only for attempt waves
-  with a matching clause, so clean attempts run the exact original payload.
+  ``os._exit``), ``raise`` (task raises :class:`FaultInjected`), ``hang``
+  (task sleeps, to exercise the timeout path) or ``disk`` (an
+  :class:`OSError`, modelling a failed device — the service layer's WAL
+  maps it to read-only degraded mode).  The executor prepends a picklable
+  :class:`_FaultProbe` to the shipped chain only for attempt waves with a
+  matching clause, so clean attempts run the exact original payload.
+
+The same clause grammar drives the **service fault points**
+(:func:`service_fault`, spec from ``REPRO_SERVICE_FAULT``): named code
+points in the ER service — ``wal.append``, ``ingest.apply.<collection>``,
+``snapshot.save.<collection>``, ``compact.<collection>``, ... — call
+``service_fault(point)`` as they execute; a clause's stage substring is
+matched against the point name and its attempt number against the
+per-point hit counter (the task coordinate is unused).  ``crash`` at a
+service point kills the whole process with :data:`CRASH_EXIT_CODE` — the
+chaos harness (``scripts/service_chaos.py``) uses this to kill a serving
+process mid-ingest / mid-compaction / mid-snapshot deterministically and
+assert WAL replay reconstructs the exact pre-crash state.
 
 Retrying is bit-for-bit safe for the same reason serial fallback is: a task
 is a pure replay of a pickled function chain over an immutable input
@@ -75,9 +89,10 @@ from repro.utils.hashing import stable_hash
 
 POLICY_ENV_VAR = "REPRO_FAULT_POLICY"
 INJECT_ENV_VAR = "REPRO_FAULT_INJECT"
+SERVICE_INJECT_ENV_VAR = "REPRO_SERVICE_FAULT"
 
 _ON_EXHAUSTED = ("raise", "serial-fallback")
-_MODES = ("crash", "raise", "hang")
+_MODES = ("crash", "raise", "hang", "disk")
 _DEFAULT_HANG_SECONDS = 30.0
 
 # os._exit code used by injected worker crashes; chosen outside the range of
@@ -398,6 +413,11 @@ class _FaultProbe:
                     f"injected fault: stage {self.stage!r} task {index} "
                     f"attempt {self.attempt}"
                 )
+            if clause.mode == "disk":
+                raise OSError(
+                    f"injected disk fault: stage {self.stage!r} task {index} "
+                    f"attempt {self.attempt}"
+                )
             time.sleep(clause.seconds)
         return rows
 
@@ -406,3 +426,60 @@ class _FaultProbe:
             f"_FaultProbe(stage={self.stage!r}, attempt={self.attempt}, "
             f"clauses={self.clauses!r})"
         )
+
+
+# ------------------------------------------------------- service fault points
+class ServicePointInjector:
+    """Fire injected faults at named service code points, hit-counted.
+
+    Reuses the :class:`FaultClause` grammar: the clause's stage substring is
+    matched against the point name and its attempt number against this
+    injector's per-point hit counter (first call to a point is hit 1); the
+    task coordinate is ignored.  Same spec, same hits, same faults — service
+    chaos runs replay exactly like engine ones.
+    """
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+        self._hits: dict[str, int] = {}
+
+    def fire(self, point: str) -> None:
+        hit = self._hits.get(point, 0) + 1
+        self._hits[point] = hit
+        for clause in self.injector.clauses:
+            if not clause.matches(point, hit):
+                continue
+            if clause.mode == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if clause.mode == "raise":
+                raise FaultInjected(f"injected fault at {point!r} hit {hit}")
+            if clause.mode == "disk":
+                raise OSError(f"injected disk fault at {point!r} hit {hit}")
+            time.sleep(clause.seconds)
+
+
+_SERVICE_UNSET = object()
+_service_injector: "ServicePointInjector | None | object" = _SERVICE_UNSET
+
+
+def service_fault(point: str) -> None:
+    """Fire injected service-layer faults at ``point``.
+
+    A no-op unless ``REPRO_SERVICE_FAULT`` holds an injection spec — the
+    production fast path is one cached ``is None`` check.  The spec is read
+    once per process; tests switching specs call :func:`reset_service_faults`.
+    """
+    global _service_injector
+    if _service_injector is _SERVICE_UNSET:
+        spec = os.environ.get(SERVICE_INJECT_ENV_VAR, "").strip() or None
+        _service_injector = (
+            ServicePointInjector(FaultInjector.parse(spec)) if spec else None
+        )
+    if _service_injector is not None:
+        _service_injector.fire(point)
+
+
+def reset_service_faults() -> None:
+    """Drop the cached service injector (re-reads the env on next fire)."""
+    global _service_injector
+    _service_injector = _SERVICE_UNSET

@@ -76,6 +76,16 @@ def make_artifact_dir(kind: str, tmp_dir: "str | os.PathLike | None" = None) -> 
     return path
 
 
+def release_artifact(path: str) -> None:
+    """Drop ownership of one artifact *without* removing it.
+
+    For artifacts that graduate into a durable file via ``os.replace`` (the
+    WAL's truncate-rewrite): after the rename the reserved path no longer
+    exists, but it must leave the live set so shutdown sweeps stay exact.
+    """
+    _live_owned.discard(path)
+
+
 def discard_artifact(path: str) -> None:
     """Remove one artifact (file or directory) and drop its ownership.
 
@@ -121,22 +131,29 @@ def _artifact_pid(name: str) -> "int | None":
         return None
 
 
-def sweep_orphaned_artifacts(tmp_dir: "str | os.PathLike | None" = None) -> list[str]:
+def sweep_orphaned_artifacts(
+    tmp_dir: "str | os.PathLike | None" = None, kind: "str | None" = None
+) -> list[str]:
     """Remove managed artifacts whose creator process is gone.
 
     Scans the resolved root for ``repro-<kind>-<pid>-<seq>`` entries and
     removes those whose pid no longer exists — the crash-recovery companion
     of :func:`repro.engine.sharedmem.sweep_orphaned_segments`, covering the
-    on-disk artifact families (spill directories, memmap buffers) in one
-    place.  Returns the removed paths.
+    on-disk artifact families (spill directories, memmap buffers, WAL
+    rewrite temps) in one place.  ``kind`` restricts the sweep to one family
+    (the service's startup recovery sweeps only ``waltmp`` under its WAL
+    directory).  Returns the removed paths.
     """
     root = resolve_tmp_dir(tmp_dir)
     try:
         entries = os.listdir(root)
     except OSError:
         return []
+    marker = None if kind is None else f"repro-{kind}-"
     removed = []
     for entry in entries:
+        if marker is not None and not entry.startswith(marker):
+            continue
         pid = _artifact_pid(entry)
         if pid is None:
             continue

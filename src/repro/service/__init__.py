@@ -9,6 +9,14 @@ candidate edges refresh neighbourhood-locally through the
 answer from a cached progressive ranking — all exposed over a stdlib-asyncio
 HTTP server (:mod:`repro.service.app`) with per-endpoint latency histograms
 and checksummed disk snapshots.  ``python -m repro.cli serve`` runs it.
+
+Durability and liveness (see ``docs/SERVICE.md`` § Durability &
+degradation): every ingest batch is logged to a per-collection
+:class:`~repro.service.wal.WriteAheadLog` before it applies, crash restarts
+replay the log tail (:meth:`~repro.service.store.CollectionStore.recover`),
+handlers that sweep or rebuild run on a bounded worker pool off the event
+loop, and admission control sheds over-limit load with ``429``/``503``
+(``507`` when a WAL device error flips a collection read-only).
 """
 
 from repro.service.app import ServiceApp, run_service
@@ -17,11 +25,14 @@ from repro.service.delta import DeltaMetaBlocker
 from repro.service.http import HttpError, HttpServer, Request, Response, Router
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import CollectionStore
+from repro.service.wal import FSYNC_POLICIES, DegradedError, WriteAheadLog
 
 __all__ = [
     "CollectionConfig",
     "CollectionStore",
+    "DegradedError",
     "DeltaMetaBlocker",
+    "FSYNC_POLICIES",
     "HttpError",
     "HttpServer",
     "Request",
@@ -30,5 +41,6 @@ __all__ = [
     "ServiceApp",
     "ServiceCollection",
     "ServiceMetrics",
+    "WriteAheadLog",
     "run_service",
 ]

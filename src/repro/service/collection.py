@@ -22,6 +22,7 @@ import re
 from dataclasses import asdict, dataclass
 
 from repro.data.profile import EntityProfile
+from repro.engine.faults import service_fault
 from repro.exceptions import ConfigurationError, DataError
 from repro.metablocking.index import IncrementalBlockIndex
 from repro.metablocking.progressive import (
@@ -29,6 +30,7 @@ from repro.metablocking.progressive import (
     ProgressiveSortedComparisons,
 )
 from repro.service.delta import DeltaMetaBlocker
+from repro.service.wal import FSYNC_POLICIES, DegradedError, WriteAheadLog
 
 _NAME_PATTERN = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
 
@@ -61,6 +63,7 @@ class CollectionConfig:
     buffer_backend: "str | None" = None
     tmp_dir: "str | None" = None
     progressive: str = "sorted"
+    wal_fsync: "str | None" = None
 
     def __post_init__(self) -> None:
         validate_collection_name(self.name)
@@ -68,6 +71,11 @@ class CollectionConfig:
             raise ConfigurationError(
                 f"progressive strategy must be one of {PROGRESSIVE_STRATEGIES}, "
                 f"got {self.progressive!r}"
+            )
+        if self.wal_fsync is not None and self.wal_fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"wal_fsync must be one of {FSYNC_POLICIES} or null, "
+                f"got {self.wal_fsync!r}"
             )
 
     def as_dict(self) -> dict:
@@ -127,21 +135,33 @@ class ServiceCollection:
         self._prefix_complete = False
         self.ingests = 0
         self.queries = 0
+        # Durability state: wired by the store when a WAL directory is
+        # configured.  ``wal_applied_seq`` is the highest log sequence number
+        # whose batch reached the index — snapshots persist it, replay skips
+        # records at or below it (duplicate idempotence).
+        self.wal: "WriteAheadLog | None" = None
+        self.wal_applied_seq = 0
+        self.wal_replayed = 0
+        self.degraded_reason: "str | None" = None
+
+    def attach_wal(self, wal: WriteAheadLog) -> None:
+        self.wal = wal
 
     # ---------------------------------------------------------------- ingest
-    def ingest(self, payload: dict) -> dict:
-        """Append the profiles of one ``POST .../profiles`` payload.
+    def _parse_profiles(self, payload: dict) -> list[EntityProfile]:
+        """Fully validate one ingest payload into profiles, pre-apply.
 
-        ``payload`` is ``{"profiles": [{"id"?, "source"?, "attributes"}]}``;
-        missing ids are assigned sequentially after the current maximum.
-        Returns an ingest summary (counts, id range, touched blocks).
+        Every check runs *before* the batch is WAL-logged or applied —
+        including the index's strictly-increasing id invariant — so a logged
+        record is guaranteed to apply cleanly on replay.
         """
         if not isinstance(payload, dict) or "profiles" not in payload:
             raise DataError("ingest payload must be {'profiles': [...]}")
         raw_profiles = payload["profiles"]
         if not isinstance(raw_profiles, list):
             raise DataError("'profiles' must be a list")
-        next_id = self.index.last_profile_id + 1
+        last_id = self.index.last_profile_id
+        next_id = last_id + 1
         profiles: list[EntityProfile] = []
         for position, raw in enumerate(raw_profiles):
             if not isinstance(raw, dict):
@@ -153,6 +173,11 @@ class ServiceCollection:
                 profile_id = raw_id
             else:
                 raise DataError(f"profile #{position} 'id' must be an integer")
+            if profile_id <= last_id:
+                raise DataError(
+                    "ingest requires strictly increasing profile ids: "
+                    f"got {profile_id} after {last_id}"
+                )
             source = raw.get("source", 0)
             if source not in (0, 1):
                 raise DataError(f"profile #{position} 'source' must be 0 or 1")
@@ -161,7 +186,52 @@ class ServiceCollection:
             )
             _parse_attributes(raw.get("attributes", {}), profile)
             profiles.append(profile)
+            last_id = profile_id
             next_id = profile_id + 1
+        return profiles
+
+    def ingest(self, payload: dict, *, replay_seq: "int | None" = None) -> dict:
+        """Append the profiles of one ``POST .../profiles`` payload.
+
+        ``payload`` is ``{"profiles": [{"id"?, "source"?, "attributes"}]}``;
+        missing ids are assigned sequentially after the current maximum.
+        Returns an ingest summary (counts, id range, touched blocks).
+
+        With a WAL attached the payload is logged durably *before* it
+        touches the index; an ``OSError`` from the log flips the collection
+        into read-only degraded mode (:class:`DegradedError`, HTTP 507).
+        ``replay_seq`` marks a recovery re-application of an already-logged
+        record: it skips the WAL write, and records at or below
+        :attr:`wal_applied_seq` are ignored (idempotent double replay).
+        """
+        if replay_seq is not None and replay_seq <= self.wal_applied_seq:
+            return {
+                "appended": 0,
+                "first_id": None,
+                "last_id": None,
+                "total_profiles": self.index.num_profiles,
+                "touched_blocks": 0,
+                "touched_profiles": 0,
+                "wal_seq": replay_seq,
+                "duplicate": True,
+            }
+        if self.degraded_reason is not None and replay_seq is None:
+            raise DegradedError(
+                f"collection {self.config.name!r} is read-only (degraded): "
+                f"{self.degraded_reason}"
+            )
+        profiles = self._parse_profiles(payload)
+        seq = replay_seq
+        if seq is None and self.wal is not None:
+            try:
+                seq = self.wal.append(payload)
+            except OSError as error:
+                self.degraded_reason = f"WAL append failed: {error}"
+                raise DegradedError(
+                    f"collection {self.config.name!r} entered read-only "
+                    f"(degraded) mode: {error}"
+                ) from error
+        service_fault(f"ingest.apply.{self.config.name}")
         delta = self.index.append_profiles(profiles)
         self._pending_touched.update(delta.touched_profile_ids)
         if delta.new_profile_ids:
@@ -170,6 +240,9 @@ class ServiceCollection:
             self._prefix_iter = None
             self._prefix_complete = False
         self.ingests += 1
+        if seq is not None:
+            self.wal_applied_seq = seq
+        service_fault(f"ingest.ack.{self.config.name}")
         return {
             "appended": len(delta.new_profile_ids),
             "first_id": delta.new_profile_ids[0] if delta.new_profile_ids else None,
@@ -177,6 +250,7 @@ class ServiceCollection:
             "total_profiles": self.index.num_profiles,
             "touched_blocks": len(delta.touched_tokens),
             "touched_profiles": len(delta.touched_profile_ids),
+            "wal_seq": seq,
         }
 
     def has_profile(self, profile_id: int) -> bool:
@@ -203,6 +277,8 @@ class ServiceCollection:
         ranking work at all.
         """
         if self._prefix_iter is None and not self._prefix_complete:
+            if self.index.is_stale:
+                service_fault(f"compact.{self.config.name}")
             index = self.index.materialise()
             self._prefix_iter = self._progressive().stream_index(index)
         while len(self._prefix) < length and not self._prefix_complete:
@@ -224,6 +300,7 @@ class ServiceCollection:
         if budget < 0:
             raise DataError("budget must be >= 0")
         self.queries += 1
+        service_fault(f"matches.{self.config.name}")
         prefix = self._ensure_prefix(budget)
         matches = [pair for pair in prefix if profile_id in pair]
         return {
@@ -238,6 +315,8 @@ class ServiceCollection:
     def candidates(self, profile_id: int) -> dict:
         """Retained meta-blocking edges for one profile, delta-refreshed."""
         self.queries += 1
+        if self.index.is_stale:
+            service_fault(f"compact.{self.config.name}")
         index = self.index.materialise()
         touched = None if not self.delta.refreshes else frozenset(self._pending_touched)
         self.delta.refresh(index, touched)
@@ -260,6 +339,7 @@ class ServiceCollection:
             "delta": self.delta,
             "pending_touched": sorted(self._pending_touched),
             "ingests": self.ingests,
+            "wal_applied_seq": self.wal_applied_seq,
         }
 
     @classmethod
@@ -272,6 +352,7 @@ class ServiceCollection:
         collection.delta = state["delta"]
         collection._pending_touched = set(state.get("pending_touched", ()))
         collection.ingests = int(state.get("ingests", 0))
+        collection.wal_applied_seq = int(state.get("wal_applied_seq", 0))
         return collection
 
     def stats(self) -> dict:
@@ -288,9 +369,19 @@ class ServiceCollection:
             "pending_touched": len(self._pending_touched),
             "ranked_prefix": len(self._prefix),
             "delta": self.delta.stats(),
+            "degraded": self.degraded_reason,
+            "wal": None
+            if self.wal is None
+            else dict(
+                self.wal.stats(),
+                applied_seq=self.wal_applied_seq,
+                replayed_on_recovery=self.wal_replayed,
+            ),
         }
 
     def close(self) -> None:
-        """Release the index buffers (idempotent)."""
+        """Release the index buffers and the WAL handle (idempotent)."""
         self._prefix_iter = None
         self.index.close()
+        if self.wal is not None:
+            self.wal.close()

@@ -9,37 +9,58 @@ dependency, so this module implements the minimum carefully instead:
 * requests bigger than a configurable cap are rejected with 413 before the
   body is read into memory;
 * handler exceptions map to structured JSON errors (:class:`repro.exceptions.
-  SparkERError` → 400-family, anything else → 500) — the connection never
-  just drops;
+  SparkERError` → 400-family, :class:`repro.service.wal.DegradedError` →
+  507, anything else → 500) — the connection never just drops;
 * every handled request is timed into the app's
   :class:`~repro.service.metrics.ServiceMetrics` under its route *pattern*;
-* handlers are plain synchronous callables ``(Request) -> Response`` run on
-  the event loop — the engine underneath is CPU-bound and single-process, so
-  one request at a time *is* the service's execution model; concurrency
-  buys admission and backpressure, not parallel sweeps.
+* handlers are callables ``(Request) -> Response`` that may be plain
+  synchronous (cheap probes answer inline on the event loop) or coroutine
+  functions — the app layer's handlers are coroutines that offload the
+  CPU-bound engine work to a bounded worker pool, which is what keeps
+  ``healthz`` and warm queries answering while a cold sweep runs;
+* in-flight connections are counted so the app can **drain** them (with a
+  deadline) before sweeping temp artifacts at shutdown.
 """
 
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import time
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.exceptions import SparkERError
+from repro.service.wal import DegradedError
 
 MAX_REQUEST_BYTES = 16 * 1024 * 1024
 _MAX_HEADER_BYTES = 64 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    507: "Insufficient Storage",
+}
 
 
 class HttpError(Exception):
     """An error with a definite HTTP status, raised by handlers or parsing."""
 
-    def __init__(self, status: int, message: str) -> None:
+    def __init__(
+        self, status: int, message: str, *, headers: "dict[str, str] | None" = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
 
 
 @dataclass
@@ -85,16 +106,19 @@ class Response:
 
     payload: object
     status: int = 200
+    headers: dict[str, str] = field(default_factory=dict)
 
     def encode(self) -> bytes:
         body = json.dumps(self.payload, sort_keys=True).encode("utf-8")
-        reason = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
-                  405: "Method Not Allowed", 413: "Payload Too Large",
-                  500: "Internal Server Error"}.get(self.status, "OK")
+        reason = _REASONS.get(self.status, "OK")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in self.headers.items()
+        )
         head = (
             f"HTTP/1.1 {self.status} {reason}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         )
         return head.encode("ascii") + body
@@ -146,6 +170,8 @@ class HttpServer:
         self.port = port
         self.metrics = metrics
         self._server: "asyncio.AbstractServer | None" = None
+        self._active_connections = 0
+        self._idle_event: "asyncio.Event | None" = None
 
     async def start(self) -> None:
         """Bind and start accepting connections (resolves ``port=0``)."""
@@ -165,15 +191,55 @@ class HttpServer:
         assert self._server is not None, "start() first"
         await self._server.serve_forever()
 
+    @property
+    def active_connections(self) -> int:
+        return self._active_connections
+
+    def _idle(self) -> asyncio.Event:
+        # Created lazily inside the running loop (py3.9 binds the Event's
+        # loop at construction time).
+        if self._idle_event is None:
+            self._idle_event = asyncio.Event()
+            self._idle_event.set()
+        return self._idle_event
+
+    async def drain(self, timeout: float) -> bool:
+        """Wait until every in-flight connection finishes; False on timeout.
+
+        Called by the app after :meth:`stop` (no new connections) so that
+        shutdown never sweeps temp artifacts a still-running handler has
+        mapped.
+        """
+        if self._active_connections == 0:
+            return True
+        try:
+            await asyncio.wait_for(self._idle().wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
     # ------------------------------------------------------------- internals
     async def _handle_connection(self, reader, writer) -> None:
+        idle = self._idle()
+        self._active_connections += 1
+        idle.clear()
+        try:
+            await self._handle_one(reader, writer)
+        finally:
+            self._active_connections -= 1
+            if self._active_connections == 0:
+                idle.set()
+
+    async def _handle_one(self, reader, writer) -> None:
         label = "unmatched"
         started = time.perf_counter()
         try:
             request = await self._read_request(reader)
-            response, label = self._dispatch(request)
+            response, label = await self._dispatch(request)
         except HttpError as error:
-            response = Response({"error": error.message}, status=error.status)
+            response = Response(
+                {"error": error.message}, status=error.status, headers=error.headers
+            )
         except (asyncio.IncompleteReadError, ConnectionError):
             writer.close()
             return
@@ -191,13 +257,26 @@ class HttpServer:
                     label, time.perf_counter() - started, response.status
                 )
 
-    def _dispatch(self, request: Request) -> tuple[Response, str]:
+    async def _dispatch(self, request: Request) -> tuple[Response, str]:
         handler, params, label = self.router.match(request.method, request.path)
         request.path_params = params
         try:
             result = handler(request)
+            if inspect.isawaitable(result):
+                result = await result
         except HttpError as error:
-            return Response({"error": error.message}, status=error.status), label
+            return (
+                Response(
+                    {"error": error.message},
+                    status=error.status,
+                    headers=error.headers,
+                ),
+                label,
+            )
+        except DegradedError as error:
+            # The collection's WAL device failed: it keeps serving reads but
+            # rejects writes until restarted against a healthy device.
+            return Response({"error": str(error)}, status=507), label
         except SparkERError as error:
             # Domain validation errors (bad payloads, duplicate ids, unknown
             # schemes) are the caller's fault, not the server's.

@@ -1,10 +1,20 @@
-"""Service-side request metrics: per-endpoint latency histograms.
+"""Service-side request metrics: latency histograms plus failure counters.
 
 Thin aggregation over :class:`repro.engine.metrics.LatencyHistogram` — one
 histogram and one request/error counter pair per route label, snapshotted by
 the ``GET /metrics`` endpoint.  Labels are route *patterns* (e.g.
 ``POST /collections/{name}/profiles``), not concrete paths, so cardinality is
 bounded by the route table.
+
+The durability/admission layer adds two more surfaces:
+
+* **named counters** (:meth:`ServiceMetrics.inc`) for the failure paths —
+  WAL appends / replayed records / torn-tail truncations, and the shed-load
+  responses ``429``/``503``/``507`` (counted automatically by
+  :meth:`observe`);
+* the **offload gauge + wait histogram**: how many requests currently sit
+  on the worker pool (and the high-water mark), and how long each waited
+  for its collection gate before starting.
 """
 
 from __future__ import annotations
@@ -12,6 +22,8 @@ from __future__ import annotations
 import time
 
 from repro.engine.metrics import LatencyHistogram
+
+_SHED_STATUSES = (429, 503, 507)
 
 
 class ServiceMetrics:
@@ -22,6 +34,10 @@ class ServiceMetrics:
         self._histograms: dict[str, LatencyHistogram] = {}
         self._requests: dict[str, int] = {}
         self._errors: dict[str, int] = {}
+        self._counters: dict[str, int] = {}
+        self._offload_wait = LatencyHistogram()
+        self._offload_depth = 0
+        self._offload_peak_depth = 0
 
     def observe(self, label: str, seconds: float, status: int) -> None:
         """Record one handled request (5xx statuses count as errors)."""
@@ -32,6 +48,29 @@ class ServiceMetrics:
         self._requests[label] = self._requests.get(label, 0) + 1
         if status >= 500:
             self._errors[label] = self._errors.get(label, 0) + 1
+        if status in _SHED_STATUSES:
+            self.inc(f"responses_{status}")
+
+    # ------------------------------------------------------- failure counters
+    def inc(self, counter: str, amount: int = 1) -> None:
+        """Bump a named counter (WAL appends, replays, shed responses, ...)."""
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    # --------------------------------------------------------------- offload
+    def offload_enter(self) -> None:
+        self._offload_depth += 1
+        if self._offload_depth > self._offload_peak_depth:
+            self._offload_peak_depth = self._offload_depth
+
+    def offload_exit(self) -> None:
+        self._offload_depth -= 1
+
+    def observe_offload_wait(self, seconds: float) -> None:
+        """Time one request spent queued for its collection gate."""
+        self._offload_wait.observe(seconds)
 
     def snapshot(self) -> dict:
         """The /metrics payload fragment for request handling."""
@@ -46,4 +85,10 @@ class ServiceMetrics:
             "requests": sum(self._requests.values()),
             "errors": sum(self._errors.values()),
             "endpoints": endpoints,
+            "counters": dict(sorted(self._counters.items())),
+            "offload": {
+                "queue_depth": self._offload_depth,
+                "peak_queue_depth": self._offload_peak_depth,
+                "wait": self._offload_wait.summary(),
+            },
         }

@@ -79,3 +79,11 @@ def test_service_ingest_query_within_tolerance_of_baseline():
 
     failures = check_service_against_baseline(tolerance=0.5)
     assert not failures, "; ".join(failures)
+
+
+def test_service_wal_overhead_within_floor_of_baseline():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    from bench_guard import check_service_wal_against_baseline
+
+    failures = check_service_wal_against_baseline()
+    assert not failures, "; ".join(failures)

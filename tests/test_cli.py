@@ -337,3 +337,129 @@ class TestServeCommand:
         assert "service stopped" in output
         leaked = [name for name in os.listdir(tmp_path) if name.startswith("repro-")]
         assert leaked == []
+
+
+class TestServeDurabilityCli:
+    def test_wal_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--wal-dir", "/tmp/w", "--wal-fsync", "off"]
+        )
+        assert args.wal_dir == "/tmp/w"
+        assert args.wal_fsync == "off"
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.wal_dir is None
+        assert defaults.wal_fsync is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--wal-fsync", "sometimes"])
+
+    def test_spec_service_section_rejects_unknown_keys(self, tmp_path, capsys):
+        import json as _json
+
+        spec = tmp_path / "svc.json"
+        spec.write_text(_json.dumps({"service": {"bogus_knob": 1}}))
+        assert main(["serve", "--port", "0", "--spec", str(spec)]) == 2
+        assert "bogus_knob" in capsys.readouterr().err
+
+    def test_ping_distinguishes_degraded_from_healthy(self, capsys):
+        """A degraded (read-only) service pings with exit code 3, not 0."""
+        import asyncio
+
+        from repro.service import ServiceApp
+
+        app = ServiceApp()
+        outcome = {}
+
+        async def scenario():
+            await app.start()
+            loop = asyncio.get_running_loop()
+            try:
+                outcome["healthy"] = await loop.run_in_executor(
+                    None,
+                    lambda: main(["ping", "--port", str(app.port), "--timeout", "5"]),
+                )
+                collection = app.store.get_or_create("demo")
+                collection.degraded_reason = "WAL append failed: disk on fire"
+                outcome["degraded"] = await loop.run_in_executor(
+                    None,
+                    lambda: main(["ping", "--port", str(app.port), "--timeout", "5"]),
+                )
+            finally:
+                await app.stop()
+
+        asyncio.run(scenario())
+        assert outcome["healthy"] == 0
+        assert outcome["degraded"] == 3
+        captured = capsys.readouterr()
+        assert "up but degraded" in captured.err
+        assert "demo" in captured.err
+
+    def test_serve_restart_replays_the_wal(self, tmp_path):
+        """Kill -9 a WAL-backed server mid-life; the restart replays."""
+        import json as _json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        repo_src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(repo_src)
+        env["REPRO_TMPDIR"] = str(tmp_path)
+        serve_args = [
+            sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+            "--wal-dir", str(tmp_path / "wal"),
+            "--snapshot-dir", str(tmp_path / "snap"),
+            "--wal-fsync", "batch",
+        ]
+
+        def start():
+            process = subprocess.Popen(
+                serve_args, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, env=env,
+            )
+            port = None
+            lines = []
+            for _ in range(200):
+                line = process.stdout.readline()
+                lines.append(line)
+                if line.startswith("serving on "):
+                    port = int(line.strip().rsplit(":", 1)[1])
+                    break
+            assert port, f"serve never announced its port: {lines}"
+            return process, port, lines
+
+        process, port, _ = start()
+        try:
+            payload = _json.dumps(
+                {"profiles": [{"id": 0, "attributes": {"name": "alpha bravo"}}]}
+            ).encode()
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/collections/demo/profiles",
+                data=payload, method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 201
+        finally:
+            process.send_signal(signal.SIGKILL)  # no chance to snapshot
+            process.wait(timeout=30)
+            process.stdout.close()
+
+        process, port, lines = start()
+        try:
+            assert any(
+                "replayed 1 WAL record(s) into collection 'demo'" in line
+                for line in lines
+            ), lines
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/collections/demo/matches/0?budget=5",
+                timeout=10,
+            ) as response:
+                assert response.status == 200
+        finally:
+            process.send_signal(signal.SIGTERM)
+            for _ in range(400):
+                if not process.stdout.readline():
+                    break
+            assert process.wait(timeout=30) == 0
+            process.stdout.close()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 
 import pytest
 
@@ -32,13 +33,17 @@ from repro.engine.faults import (
     CRASH_EXIT_CODE,
     INJECT_ENV_VAR,
     POLICY_ENV_VAR,
+    SERVICE_INJECT_ENV_VAR,
     FaultClause,
     FaultInjected,
     FaultInjector,
     FaultPolicy,
+    ServicePointInjector,
     _FaultProbe,
     resolve_fault_injector,
     resolve_fault_policy,
+    reset_service_faults,
+    service_fault,
 )
 from repro.exceptions import (
     EngineError,
@@ -983,3 +988,61 @@ class TestFaultPolicyPlumbing:
         )
         assert exit_code == 0
         assert "summary:" in capsys.readouterr().out
+
+
+# =========================================================================
+# Service-layer fault points
+# =========================================================================
+class TestServiceFaultPoints:
+    @pytest.fixture(autouse=True)
+    def _fresh_injector_cache(self):
+        reset_service_faults()
+        yield
+        reset_service_faults()
+
+    def test_noop_without_spec(self, monkeypatch):
+        monkeypatch.delenv(SERVICE_INJECT_ENV_VAR, raising=False)
+        service_fault("wal.append")  # must not raise
+
+    def test_raise_mode_counts_hits_per_point(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_INJECT_ENV_VAR, "raise@wal.append#3")
+        service_fault("wal.append")  # hit 1
+        service_fault("wal.truncate")  # separate counter
+        service_fault("wal.append")  # hit 2
+        with pytest.raises(FaultInjected, match="hit 3"):
+            service_fault("wal.append")
+        # Attempt 3 fired; hit 4 passes through again.
+        service_fault("wal.append")
+
+    def test_disk_mode_raises_oserror(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_INJECT_ENV_VAR, "disk@wal.append")
+        with pytest.raises(OSError, match="injected disk fault"):
+            service_fault("wal.append")
+
+    def test_stage_substring_scopes_the_point(self, monkeypatch):
+        monkeypatch.setenv(SERVICE_INJECT_ENV_VAR, "raise@ingest.apply")
+        service_fault("ingest.ack.demo")  # different point family
+        with pytest.raises(FaultInjected):
+            service_fault("ingest.apply.demo")
+
+    def test_spec_is_cached_until_reset(self, monkeypatch):
+        monkeypatch.delenv(SERVICE_INJECT_ENV_VAR, raising=False)
+        service_fault("wal.append")  # caches "no injection"
+        monkeypatch.setenv(SERVICE_INJECT_ENV_VAR, "raise@wal.append")
+        service_fault("wal.append")  # still cached: no raise
+        reset_service_faults()
+        with pytest.raises(FaultInjected):
+            service_fault("wal.append")
+
+    def test_injector_hang_mode_sleeps(self):
+        injector = ServicePointInjector(FaultInjector.parse("hang~0.01@point"))
+        started = time.perf_counter()
+        injector.fire("point")
+        assert time.perf_counter() - started >= 0.01
+
+    def test_disk_mode_parses_in_the_engine_grammar(self):
+        (clause,) = FaultInjector.parse("disk@shuffle:1#2").clauses
+        assert clause.mode == "disk"
+        probe = _FaultProbe((clause,), "shuffle", 2)
+        with pytest.raises(OSError, match="injected disk fault"):
+            probe(1, iter([1]))

@@ -173,3 +173,36 @@ class TestSweep:
 
     def test_missing_root_is_a_noop(self, tmp_path):
         assert tmpfiles.sweep_orphaned_artifacts(tmp_path / "absent") == []
+
+
+class TestReleaseArtifact:
+    def test_release_drops_ownership_but_keeps_the_file(self, tmp_path):
+        path = tmpfiles.make_artifact_path("waltmp", tmp_path)
+        durable = tmp_path / "log.wal"
+        with open(path, "wb") as handle:
+            handle.write(b"rewritten")
+        os.replace(path, durable)
+        tmpfiles.release_artifact(path)
+        assert path not in tmpfiles.live_artifacts()
+        assert durable.read_bytes() == b"rewritten"
+        # The shutdown sweep no longer knows the reserved path.
+        tmpfiles.discard_live_artifacts()
+        assert durable.exists()
+
+    def test_release_of_unknown_path_is_a_noop(self, tmp_path):
+        tmpfiles.release_artifact(str(tmp_path / "never-reserved"))
+
+
+class TestKindFilteredSweep:
+    def test_sweep_only_touches_the_requested_kind(self, tmp_path):
+        pid = _dead_pid()
+        wal_orphan = tmp_path / f"repro-waltmp-{pid}-0"
+        wal_orphan.write_bytes(b"stale rewrite")
+        other_orphan = tmp_path / f"repro-csrbuf-{pid}-1"
+        other_orphan.write_bytes(b"someone else's")
+        removed = tmpfiles.sweep_orphaned_artifacts(tmp_path, kind="waltmp")
+        assert removed == [str(wal_orphan)]
+        assert not wal_orphan.exists()
+        assert other_orphan.exists()
+        # An unfiltered sweep still reclaims the rest.
+        assert tmpfiles.sweep_orphaned_artifacts(tmp_path) == [str(other_orphan)]

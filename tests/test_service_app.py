@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -307,3 +309,231 @@ class TestServiceApp:
         # stop() ran the shutdown sweep: no owned tmp artifacts remain.
         assert tmpfiles.live_artifacts() == []
         app.shutdown()  # idempotent
+
+
+# --------------------------------------------- offload, admission, degraded
+def _request_headers(port, method, path, payload=None):
+    """Like :func:`_request` but also returns the response headers."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), json.loads(error.read())
+
+
+def _slow(collection, seconds):
+    """Monkeypatch-free slow-down of a collection's matches sweep."""
+    original = collection.matches
+
+    def slow_matches(profile_id, budget):
+        time.sleep(seconds)
+        return original(profile_id, budget)
+
+    collection.matches = slow_matches
+
+
+class TestServiceConcurrency:
+    def test_cold_sweep_does_not_block_probes_or_other_tenants(self):
+        """Event-loop liveness: a pinned sweep on one collection leaves
+        ``healthz`` and a second collection answering within a bound far
+        below the sweep's duration."""
+        profiles = _random_profiles(25, clean_clean=False, seed=7)
+        app = ServiceApp(workers=2)
+
+        def scenario(call):
+            call("POST", "/collections/slow/profiles", _ingest_payload(profiles))
+            call("POST", "/collections/fast/profiles", _ingest_payload(profiles))
+            call("GET", "/collections/fast/matches/0?budget=5")  # warm cache
+            _slow(app.store.get("slow"), 1.5)
+
+            outcome = {}
+            pinned = threading.Thread(
+                target=lambda: outcome.update(
+                    slow=call("GET", "/collections/slow/matches/0?budget=5")
+                )
+            )
+            pinned.start()
+            time.sleep(0.2)  # the sweep is now occupying a pool worker
+            latencies = []
+            for _ in range(3):
+                for path in ("/healthz", "/collections/fast/matches/0?budget=5"):
+                    started = time.perf_counter()
+                    status, _ = call("GET", path)
+                    latencies.append(time.perf_counter() - started)
+                    assert status == 200
+            pinned.join()
+            assert outcome["slow"][0] == 200
+            assert max(latencies) < 0.75  # far below the 1.5s pinned sweep
+
+            status, metrics = call("GET", "/metrics")
+            assert status == 200
+            assert metrics["offload"]["peak_queue_depth"] >= 1
+            assert metrics["offload"]["wait"]["count"] >= 1
+
+        _run_against_app(scenario, app)
+
+    def test_per_collection_inflight_cap_sheds_429(self):
+        app = ServiceApp(workers=1, max_collection_inflight=1)
+
+        def scenario(call):
+            call("POST", "/collections/t/profiles", {"profiles": [{"id": 0}]})
+            _slow(app.store.get("t"), 1.0)
+            pinned = threading.Thread(
+                target=lambda: call("GET", "/collections/t/matches/0?budget=5")
+            )
+            pinned.start()
+            time.sleep(0.2)
+            status, headers, error = _request_headers(
+                app.port, "GET", "/collections/t/matches/0?budget=5"
+            )
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+            assert "in flight" in error["error"]
+            pinned.join()
+            status, metrics = call("GET", "/metrics")
+            assert metrics["counters"]["responses_429"] == 1
+
+        _run_against_app(scenario, app)
+
+    def test_global_queue_depth_cap_sheds_429(self):
+        app = ServiceApp(workers=1, max_queue_depth=1)
+
+        def scenario(call):
+            call("POST", "/collections/t/profiles", {"profiles": [{"id": 0}]})
+            call("POST", "/collections/u/profiles", {"profiles": [{"id": 0}]})
+            _slow(app.store.get("t"), 1.0)
+            pinned = threading.Thread(
+                target=lambda: call("GET", "/collections/t/matches/0?budget=5")
+            )
+            pinned.start()
+            time.sleep(0.2)
+            # A *different* collection is shed too: the cap is global.
+            status, headers, error = _request_headers(
+                app.port, "GET", "/collections/u/matches/0?budget=5"
+            )
+            assert status == 429
+            assert headers.get("Retry-After") == "1"
+            assert "queue is full" in error["error"]
+            pinned.join()
+
+        _run_against_app(scenario, app)
+
+    def test_request_deadline_expires_with_503(self):
+        app = ServiceApp(workers=2, request_timeout=0.3)
+
+        def scenario(call):
+            call("POST", "/collections/t/profiles", {"profiles": [{"id": 0}]})
+            _slow(app.store.get("t"), 1.0)
+            started = time.perf_counter()
+            status, error = call("GET", "/collections/t/matches/0?budget=5")
+            assert status == 503
+            assert "deadline expired" in error["error"]
+            assert time.perf_counter() - started < 0.9
+            # The zombie sweep finishes in the background and releases the
+            # collection gate: the next (fast) request succeeds.
+            time.sleep(0.9)
+            del app.store.get("t").matches  # restore the real method
+            assert call("GET", "/collections/t/matches/0?budget=5")[0] == 200
+            status, metrics = call("GET", "/metrics")
+            assert metrics["counters"]["responses_503"] >= 1
+            assert metrics["offload"]["queue_depth"] == 0
+
+        _run_against_app(scenario, app)
+
+    def test_degraded_collection_serves_reads_rejects_writes(self, tmp_path):
+        store = CollectionStore(
+            snapshot_dir=str(tmp_path / "snap"), wal_dir=str(tmp_path / "wal")
+        )
+        app = ServiceApp(store)
+        profiles = _random_profiles(15, clean_clean=False, seed=11)
+
+        def scenario(call):
+            status, _ = call(
+                "POST", "/collections/demo/profiles", _ingest_payload(profiles)
+            )
+            assert status == 201
+
+            def broken_append(payload):
+                raise OSError(28, "No space left on device")
+
+            store.get("demo").wal.append = broken_append
+            status, error = call(
+                "POST", "/collections/demo/profiles", {"profiles": [{"id": 99}]}
+            )
+            assert status == 507
+            assert "read-only" in error["error"]
+            # Subsequent writes are rejected up front (507), snapshots too.
+            assert call(
+                "POST", "/collections/demo/profiles", {"profiles": [{"id": 99}]}
+            )[0] == 507
+            assert call("POST", "/collections/demo/snapshot")[0] == 507
+            # Reads keep serving.
+            assert call("GET", "/collections/demo/matches/0?budget=5")[0] == 200
+            status, health = call("GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "degraded"
+            assert "demo" in health["degraded_collections"]
+            status, metrics = call("GET", "/metrics")
+            assert metrics["counters"]["responses_507"] >= 3
+            assert metrics["collections"]["demo"]["degraded"] is not None
+
+        _run_against_app(scenario, app)
+
+    def test_ingest_bumps_the_wal_append_counter(self, tmp_path):
+        store = CollectionStore(wal_dir=str(tmp_path / "wal"))
+        app = ServiceApp(store)
+
+        def scenario(call):
+            call("POST", "/collections/demo/profiles", {"profiles": [{"id": 0}]})
+            call("POST", "/collections/demo/profiles", {"profiles": [{"id": 1}]})
+            status, metrics = call("GET", "/metrics")
+            assert metrics["counters"]["wal_appends"] == 2
+            assert metrics["collections"]["demo"]["wal"]["appends"] == 2
+
+        _run_against_app(scenario, app)
+
+    def test_stop_drains_inflight_requests_before_sweeping(self):
+        """Graceful shutdown waits for the pinned request to answer."""
+        profiles = _random_profiles(15, clean_clean=False, seed=5)
+        app = ServiceApp(drain_timeout=5.0)
+        outcome = {}
+
+        async def main():
+            await app.start()
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None,
+                lambda: _request(
+                    app.port, "POST", "/collections/demo/profiles",
+                    _ingest_payload(profiles),
+                ),
+            )
+            _slow(app.store.get("demo"), 0.6)
+            pinned = loop.run_in_executor(
+                None,
+                lambda: _request(app.port, "GET", "/collections/demo/matches/0?budget=5"),
+            )
+            await asyncio.sleep(0.2)  # the request is on the worker pool
+            await app.stop()  # must drain the pinned request, not kill it
+            outcome["pinned"] = await pinned
+
+        asyncio.run(main())
+        status, payload = outcome["pinned"]
+        assert status == 200
+        assert payload["budget"] == 5
+
+    def test_admission_configuration_is_validated(self):
+        with pytest.raises(ConfigurationError, match="workers"):
+            ServiceApp(workers=0)
+        with pytest.raises(ConfigurationError, match="admission caps"):
+            ServiceApp(max_queue_depth=0)
+        with pytest.raises(ConfigurationError, match="admission caps"):
+            ServiceApp(max_collection_inflight=0)
+        with pytest.raises(ConfigurationError, match="request_timeout"):
+            ServiceApp(request_timeout=0)
+        with pytest.raises(ConfigurationError, match="drain_timeout"):
+            ServiceApp(drain_timeout=-1)

@@ -1,0 +1,376 @@
+"""Durability tests: the write-ahead ingest log and crash recovery.
+
+Three layers, matching the durability contract stated in
+:mod:`repro.service.wal`:
+
+* **WAL unit tests** — record round-trips, torn-tail detection and
+  truncation (short header / short payload / CRC corruption), sequence
+  continuity across snapshot truncation, fsync policy validation;
+* **store recovery** — a restarted :class:`~repro.service.store.
+  CollectionStore` reconstructs the pre-crash state exactly (profile ids,
+  CSR buffers byte-for-byte, query answers) from snapshot + log tail, with
+  duplicate replay idempotence and degraded read-only mode on WAL device
+  errors;
+* **subprocess chaos** — the harness in ``scripts/service_chaos.py`` kills
+  a real child process at deterministic fault points and compares the
+  recovered state against an uncrashed twin; two scenarios run here as
+  tier-1 coverage, CI runs the full matrix.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.metablocking.index import _SHARED_FIELDS
+from repro.service import (
+    CollectionConfig,
+    CollectionStore,
+    DegradedError,
+    ServiceCollection,
+    WriteAheadLog,
+)
+
+from tests.test_metablocking_incremental import _random_profiles
+from tests.test_service_app import _ingest_payload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _chaos():
+    sys.path.insert(0, str(REPO_ROOT / "scripts"))
+    import service_chaos
+
+    return service_chaos
+
+
+# ---------------------------------------------------------------- WAL units
+class TestWriteAheadLog:
+    def test_append_replay_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "c.wal")
+        payloads = [{"profiles": [{"id": i}]} for i in range(4)]
+        assert [wal.append(p) for p in payloads] == [1, 2, 3, 4]
+        wal.close()
+
+        fresh = WriteAheadLog(tmp_path / "c.wal")
+        replayed = fresh.replay()
+        assert [seq for seq, _ in replayed] == [1, 2, 3, 4]
+        assert [payload for _, payload in replayed] == payloads
+        assert fresh.next_seq == 5
+        assert fresh.torn_truncations == 0
+        # Appends continue the sequence after a replay.
+        assert fresh.append({"profiles": []}) == 5
+        fresh.close()
+
+    def test_missing_and_empty_logs_replay_to_nothing(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "missing.wal")
+        assert wal.replay() == []
+        assert wal.next_seq == 1
+        (tmp_path / "empty.wal").write_bytes(b"")
+        empty = WriteAheadLog(tmp_path / "empty.wal")
+        assert empty.replay() == []
+        assert empty.torn_truncations == 0
+
+    @pytest.mark.parametrize("cut", ["header", "payload"])
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path, cut):
+        path = tmp_path / "c.wal"
+        wal = WriteAheadLog(path)
+        for i in range(3):
+            wal.append({"batch": i})
+        wal.close()
+        # Tear the last record: keep a short header, or a short payload.
+        data = path.read_bytes()
+        record = len(data) // 3
+        keep = len(data) - record + (8 if cut == "header" else 20)
+        path.write_bytes(data[:keep])
+
+        fresh = WriteAheadLog(path)
+        replayed = fresh.replay()
+        assert [payload for _, payload in replayed] == [{"batch": 0}, {"batch": 1}]
+        assert fresh.torn_truncations == 1
+        assert path.stat().st_size == 2 * record
+        # The truncated log replays cleanly (and un-torn) a second time.
+        again = WriteAheadLog(path)
+        assert [p for _, p in again.replay()] == [{"batch": 0}, {"batch": 1}]
+        assert again.torn_truncations == 0
+
+    def test_crc_corruption_cuts_the_tail(self, tmp_path):
+        path = tmp_path / "c.wal"
+        wal = WriteAheadLog(path)
+        for i in range(3):
+            wal.append({"batch": i})
+        wal.close()
+        data = bytearray(path.read_bytes())
+        record = len(data) // 3
+        data[record + 20] ^= 0xFF  # flip a payload byte of record 2
+        path.write_bytes(bytes(data))
+
+        fresh = WriteAheadLog(path)
+        # Everything from the corrupt record on is dropped, even the intact
+        # record behind it — the log is a prefix, not a hole-punched set.
+        assert [p for _, p in fresh.replay()] == [{"batch": 0}]
+        assert fresh.torn_truncations == 1
+        assert path.stat().st_size == record
+
+    def test_truncate_upto_drops_covered_records(self, tmp_path):
+        path = tmp_path / "c.wal"
+        wal = WriteAheadLog(path)
+        for i in range(4):
+            wal.append({"batch": i})
+        assert wal.truncate_upto(2) == 2
+        assert wal.truncated_records == 2
+        assert [seq for seq, _ in WriteAheadLog(path).replay()] == [3, 4]
+        # Nothing to drop: no rewrite happens at all.
+        assert wal.truncate_upto(2) == 0
+        # Truncating everything leaves an empty log but keeps the sequence.
+        assert wal.truncate_upto(10) == 2
+        assert path.stat().st_size == 0
+        assert wal.append({"batch": 4}) == 5
+        wal.close()
+
+    def test_ensure_next_seq_only_raises_the_floor(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "c.wal")
+        wal.ensure_next_seq(7)
+        assert wal.next_seq == 7
+        wal.ensure_next_seq(3)
+        assert wal.next_seq == 7
+        assert wal.append({}) == 7
+
+    def test_fsync_policy_is_validated_and_reported(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="fsync policy"):
+            WriteAheadLog(tmp_path / "c.wal", fsync="sometimes")
+        for policy in ("always", "batch", "off"):
+            wal = WriteAheadLog(tmp_path / f"{policy}.wal", fsync=policy)
+            wal.append({"p": policy})
+            wal.sync()
+            stats = wal.stats()
+            assert stats["fsync"] == policy
+            assert stats["appends"] == 1
+            assert stats["size_bytes"] > 0
+            wal.close()
+            assert [p for _, p in WriteAheadLog(wal.path).replay()] == [
+                {"p": policy}
+            ]
+
+
+# --------------------------------------------------------- collection + WAL
+class TestCollectionWal:
+    def test_ingest_logs_before_apply_and_reports_the_seq(self, tmp_path):
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        collection.attach_wal(WriteAheadLog(tmp_path / "c.wal"))
+        try:
+            payload = _ingest_payload(_random_profiles(10, clean_clean=False, seed=3))
+            summary = collection.ingest(payload)
+            assert summary["wal_seq"] == 1
+            assert collection.wal_applied_seq == 1
+            replayed = WriteAheadLog(tmp_path / "c.wal").replay()
+            assert replayed == [(1, payload)]
+        finally:
+            collection.close()
+
+    def test_invalid_payloads_are_rejected_before_logging(self, tmp_path):
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        collection.attach_wal(WriteAheadLog(tmp_path / "c.wal"))
+        try:
+            with pytest.raises(DataError):
+                collection.ingest({"profiles": [{"id": "x"}]})
+            collection.ingest({"profiles": [{"id": 5, "attributes": {"name": "a"}}]})
+            with pytest.raises(DataError, match="strictly increasing"):
+                collection.ingest({"profiles": [{"id": 5, "attributes": {"name": "a"}}]})
+            # Only the valid batch ever reached the log.
+            assert len(WriteAheadLog(tmp_path / "c.wal").replay()) == 1
+        finally:
+            collection.close()
+
+    def test_replayed_duplicates_are_skipped(self, tmp_path):
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        collection.attach_wal(WriteAheadLog(tmp_path / "c.wal"))
+        try:
+            payload = {"profiles": [{"id": 0, "attributes": {"name": "alpha"}}]}
+            collection.ingest(payload)
+            duplicate = collection.ingest(payload, replay_seq=1)
+            assert duplicate["duplicate"] is True
+            assert duplicate["appended"] == 0
+            assert collection.index.num_profiles == 1
+        finally:
+            collection.close()
+
+    def test_wal_device_error_flips_read_only_degraded(self, tmp_path, monkeypatch):
+        collection = ServiceCollection(CollectionConfig(name="c"))
+        collection.attach_wal(WriteAheadLog(tmp_path / "c.wal"))
+        try:
+            collection.ingest(
+                _ingest_payload(_random_profiles(12, clean_clean=False, seed=9))
+            )
+            warm = collection.matches(0, 10)
+
+            def broken_append(payload):
+                raise OSError(28, "No space left on device")
+
+            monkeypatch.setattr(collection.wal, "append", broken_append)
+            with pytest.raises(DegradedError, match="read-only"):
+                collection.ingest({"profiles": [{"id": 99}]})
+            assert "No space left" in collection.degraded_reason
+            # Writes stay rejected without touching the (broken) log again...
+            with pytest.raises(DegradedError):
+                collection.ingest({"profiles": [{"id": 100}]})
+            # ...but reads keep serving the last consistent state.
+            assert collection.matches(0, 10) == warm
+            assert collection.stats()["degraded"] is not None
+        finally:
+            collection.close()
+
+    def test_wal_fsync_config_plumbs_through_the_store(self, tmp_path):
+        store = CollectionStore(
+            wal_dir=str(tmp_path / "wal"), defaults={"wal_fsync": "always"}
+        )
+        collection = store.get_or_create("demo")
+        assert collection.wal is not None
+        assert collection.wal.fsync == "always"
+        store.close_all()
+        with pytest.raises(ConfigurationError, match="wal_fsync"):
+            CollectionConfig(name="c", wal_fsync="sometimes")
+        # Without a wal_dir no log is attached and ingest reports no seq.
+        plain = CollectionStore().get_or_create("demo")
+        assert plain.wal is None
+        assert plain.ingest({"profiles": [{"id": 0}]})["wal_seq"] is None
+        plain.close()
+
+
+# ------------------------------------------------------------ store recovery
+def _csr_bytes(collection):
+    csr = collection.index.materialise()
+    return [getattr(csr, field).tobytes() for field, _tc in _SHARED_FIELDS]
+
+
+class TestStoreRecovery:
+    def _dirs(self, tmp_path):
+        return str(tmp_path / "snap"), str(tmp_path / "wal")
+
+    def test_log_only_restart_rebuilds_the_exact_state(self, tmp_path):
+        snap, wal = self._dirs(tmp_path)
+        profiles = _random_profiles(40, clean_clean=False, seed=17)
+        store = CollectionStore(snapshot_dir=snap, wal_dir=wal)
+        collection = store.get_or_create("demo")
+        for lo in range(0, 40, 10):
+            collection.ingest(_ingest_payload(profiles[lo:lo + 10]))
+        store.close_all()  # no snapshot was ever taken
+
+        recovered = CollectionStore(snapshot_dir=snap, wal_dir=wal)
+        summary = recovered.recover()
+        assert summary["restored"] == []
+        assert summary["replayed"] == {"demo": 4}
+        twin = ServiceCollection(CollectionConfig(name="demo"))
+        for lo in range(0, 40, 10):
+            twin.ingest(_ingest_payload(profiles[lo:lo + 10]))
+        got = recovered.get("demo")
+        assert got.index.profile_ids() == twin.index.profile_ids()
+        assert _csr_bytes(got) == _csr_bytes(twin)
+        assert got.matches(0, 20) == twin.matches(0, 20)
+        assert got.candidates(0) == twin.candidates(0)
+        twin.close()
+        recovered.close_all()
+
+    def test_snapshot_plus_log_tail_recovers_and_is_idempotent(self, tmp_path):
+        snap, wal = self._dirs(tmp_path)
+        profiles = _random_profiles(30, clean_clean=False, seed=23)
+        store = CollectionStore(snapshot_dir=snap, wal_dir=wal)
+        collection = store.get_or_create("demo")
+        collection.ingest(_ingest_payload(profiles[:20]))
+        summary = store.snapshot("demo")
+        assert summary["wal_truncated_records"] == 1
+        collection.ingest(_ingest_payload(profiles[20:]))  # tail, not snapshotted
+        store.close_all()
+
+        recovered = CollectionStore(snapshot_dir=snap, wal_dir=wal)
+        outcome = recovered.recover()
+        assert outcome["restored"] == ["demo"]
+        assert outcome["replayed"] == {"demo": 1}
+        got = recovered.get("demo")
+        assert got.index.profile_ids() == sorted(p.profile_id for p in profiles)
+        # The post-recovery sequence keeps increasing past the replayed tail.
+        assert got.ingest({"profiles": [{"id": 1000}]})["wal_seq"] == 3
+        recovered.close_all()
+
+        # Double recovery from the same disk state is a no-op on the second
+        # replay (records at or below the applied seq are duplicates).
+        again = CollectionStore(snapshot_dir=snap, wal_dir=wal)
+        assert again.recover()["replayed"] == {"demo": 2}
+        assert again.get("demo").index.has_profile(1000)
+        again.close_all()
+
+    def test_snapshot_newer_than_log_replays_nothing(self, tmp_path, monkeypatch):
+        """A crash between checkpoint.save and the log truncation."""
+        snap, wal = self._dirs(tmp_path)
+        profiles = _random_profiles(25, clean_clean=False, seed=37)
+        store = CollectionStore(snapshot_dir=snap, wal_dir=wal)
+        collection = store.get_or_create("demo")
+        collection.ingest(_ingest_payload(profiles))
+        monkeypatch.setattr(collection.wal, "truncate_upto", lambda seq: 0)
+        store.snapshot("demo")  # checkpoint written, log left un-truncated
+        store.close_all()
+
+        recovered = CollectionStore(snapshot_dir=snap, wal_dir=wal)
+        outcome = recovered.recover()
+        assert outcome["restored"] == ["demo"]
+        assert outcome["replayed"] == {}  # every record was a duplicate
+        got = recovered.get("demo")
+        assert got.index.profile_ids() == sorted(p.profile_id for p in profiles)
+        assert got.wal.next_seq == 2
+        recovered.close_all()
+
+    def test_recovery_truncates_a_torn_tail(self, tmp_path):
+        snap, wal_dir = self._dirs(tmp_path)
+        profiles = _random_profiles(20, clean_clean=False, seed=41)
+        store = CollectionStore(snapshot_dir=snap, wal_dir=wal_dir)
+        store.get_or_create("demo").ingest(_ingest_payload(profiles))
+        store.close_all()
+        with open(os.path.join(wal_dir, "demo.wal"), "ab") as handle:
+            handle.write(struct.pack("<QII", 2, 500, 0) + b"mid-write crash")
+
+        recovered = CollectionStore(snapshot_dir=snap, wal_dir=wal_dir)
+        outcome = recovered.recover()
+        assert outcome["torn_truncations"] == 1
+        assert outcome["replayed"] == {"demo": 1}
+        got = recovered.get("demo")
+        assert got.index.profile_ids() == sorted(p.profile_id for p in profiles)
+        recovered.close_all()
+
+    def test_recovery_sweeps_orphaned_rewrite_temps(self, tmp_path):
+        snap, wal_dir = self._dirs(tmp_path)
+        store = CollectionStore(snapshot_dir=snap, wal_dir=wal_dir)
+        store.get_or_create("demo").ingest({"profiles": [{"id": 0}]})
+        store.close_all()
+        # A crash mid-truncate leaves a pid-stamped rewrite temp behind; a
+        # dead pid means it is provably orphaned.
+        orphan = os.path.join(wal_dir, "repro-waltmp-999999-0")
+        with open(orphan, "wb") as handle:
+            handle.write(b"leftover rewrite")
+
+        recovered = CollectionStore(snapshot_dir=snap, wal_dir=wal_dir)
+        outcome = recovered.recover()
+        assert outcome["swept"] == [orphan]
+        assert not os.path.exists(orphan)
+        recovered.close_all()
+
+
+# --------------------------------------------------------- subprocess chaos
+class TestServiceChaos:
+    """Tier-1 slice of the matrix in ``scripts/service_chaos.py``."""
+
+    def test_kill_mid_ingest_recovers_the_acked_prefix(self, tmp_path):
+        chaos = _chaos()
+        outcome = chaos.run_scenario("kill-logged-unapplied", str(tmp_path))
+        assert outcome["applied_batches"] >= outcome["acked_batches"]
+        assert outcome["replayed"] == 2
+
+    def test_kill_mid_snapshot_replays_duplicates_idempotently(self, tmp_path):
+        chaos = _chaos()
+        outcome = chaos.run_scenario("kill-mid-snapshot", str(tmp_path))
+        assert outcome["applied_batches"] == outcome["acked_batches"] == 3
+        assert outcome["replayed"] == 0
